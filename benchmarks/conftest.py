@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure/table of the paper has one benchmark module here.  The
+experiment harnesses run in *simulated* time, so what pytest-benchmark
+records is the wall-clock cost of regenerating each figure; the interesting
+scientific output (the reproduced curves and their qualitative checks) is
+attached to each benchmark's ``extra_info`` and therefore lands in the
+pytest-benchmark JSON/summary output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments are full simulations (tens of seconds of wall clock), so
+    repeating them for statistical timing would be wasteful; a single round
+    is recorded and the scientific results are attached as extra_info.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def record_checks(benchmark):
+    """Attach an experiment's qualitative checks to the benchmark record."""
+
+    def _record(result, **extra):
+        checks = result.checks() if hasattr(result, "checks") else {}
+        benchmark.extra_info.update({f"check:{name}": bool(value) for name, value in checks.items()})
+        for key, value in extra.items():
+            benchmark.extra_info[key] = value
+        return result
+
+    return _record

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 1 (throughput and rel. std-dev vs file size).
+
+Paper reference (Ext2, random read, 512 MB RAM): ~9,700 ops/s for files that
+fit in the page cache, a cliff between 384 MB and 448 MB, and 162-465 ops/s
+for files of 512 MB and beyond, with relative standard deviation several
+times higher in the I/O-bound range.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_figure1
+from repro.experiments.config import default_scale
+
+
+def test_bench_figure1_ext2(benchmark, record_checks):
+    result = run_once(benchmark, run_figure1, fs_type="ext2", scale=default_scale())
+    rows = {size: (round(mean), round(rsd, 1)) for size, mean, rsd in result.rows()}
+    record_checks(
+        result,
+        memory_bound_mean_ops=round(result.memory_bound_mean()),
+        io_bound_mean_ops=round(result.io_bound_mean()),
+        drop_factor=round(result.drop_factor(), 1),
+        rows=str(rows),
+    )
+    checks = result.checks()
+    assert checks["memory_bound_plateau_near_10k_ops"]
+    assert checks["order_of_magnitude_drop"]
+    assert checks["cliff_between_384_and_512_mb"]
+    assert checks["io_bound_rsd_exceeds_memory_bound_rsd"]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 2 (Ext2/Ext3/XFS throughput over time).
+
+Paper reference: with a 410 MB file (the largest fitting in the page cache)
+read randomly from a cold cache, all three file systems start at disk speed
+and end at memory speed, but differ by up to nearly an order of magnitude
+while the cache warms (between roughly 4 and 13 minutes into the run).
+
+The default scale runs the same experiment on a proportionally shrunken
+machine (see ``ExperimentScale.figure2_testbed_scale``), which preserves the
+curve's shape; pass ``--paper-scale`` through the CLI for the full machine.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_figure2
+from repro.experiments.config import default_scale
+
+
+def test_bench_figure2_warmup_timelines(benchmark, record_checks):
+    result = run_once(benchmark, run_figure2, fs_types=("ext2", "ext3", "xfs"), scale=default_scale())
+    start_ratio, end_ratio = result.endpoint_agreement()
+    record_checks(
+        result,
+        cold_start_cross_fs_ratio=round(start_ratio, 2),
+        warm_cross_fs_ratio=round(end_ratio, 2),
+        worst_mid_run_ratio=round(result.mid_run_spread(), 1),
+        warmup_intervals={fs: result.warmup_interval_index(fs) for fs in result.filesystems()},
+    )
+    checks = result.checks()
+    assert checks["similar_when_warm"]
+    assert checks["large_mid_run_differences"]
+    assert checks["filesystems_warm_at_different_times"]

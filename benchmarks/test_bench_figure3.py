@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 3 (latency histograms for 64 MB / 1 GB / 25 GB).
+
+Paper reference: a single ~4 us peak for the 64 MB file, two roughly equal
+peaks for the 1024 MB file (cache hits vs disk reads), a single disk peak for
+the 25 GB file, and reported latencies spanning more than three orders of
+magnitude across the three working-set sizes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_figure3
+from repro.experiments.config import default_scale
+
+
+def test_bench_figure3_latency_histograms(benchmark, record_checks):
+    result = run_once(benchmark, run_figure3, fs_type="ext2", scale=default_scale())
+    record_checks(
+        result,
+        modes_by_size={size: result.modes_for(size) for size in result.sizes_mb()},
+        latency_span_orders=round(result.latency_span_orders(), 1),
+    )
+    checks = result.checks()
+    assert checks["small_file_single_memory_peak"]
+    assert checks["medium_file_bimodal"]
+    assert checks["large_file_disk_peak_dominates"]
+    assert checks["latencies_span_three_orders_of_magnitude"]

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the framework's own hot paths.
+
+These are conventional pytest-benchmark timing loops (many rounds of a cheap
+operation) for the pieces whose wall-clock cost determines how fast the
+figure regenerations run: the VFS cache-hit read path, the page cache, the
+latency histogram and the statistics layer.
+"""
+
+import random
+
+from repro.core.histogram import LatencyHistogram
+from repro.core.stats import summarize
+from repro.fs.stack import build_stack
+from repro.storage.cache import PageCache
+from repro.storage.config import scaled_testbed
+
+MiB = 1024 * 1024
+
+
+def test_bench_vfs_cached_read_path(benchmark):
+    """One 8 KiB read served from the page cache (the memory-bound inner loop)."""
+    stack = build_stack("ext2", testbed=scaled_testbed(0.25), seed=1)
+    vfs = stack.vfs
+    vfs.create("/hot")
+    fd = vfs.open("/hot")
+    vfs.fallocate(fd, 8 * MiB, charge_time=False)
+    for offset in range(0, 8 * MiB, 8192):
+        vfs.read(fd, 8192, offset=offset)
+    rng = random.Random(3)
+    offsets = [rng.randrange(0, 8 * MiB - 8192) // 8192 * 8192 for _ in range(512)]
+    index = 0
+
+    def cached_read():
+        nonlocal index
+        index = (index + 1) % len(offsets)
+        return vfs.read(fd, 8192, offset=offsets[index])
+
+    benchmark(cached_read)
+
+
+def test_bench_page_cache_lookup_insert(benchmark):
+    """Page-cache lookup+insert cycle at steady state."""
+    cache = PageCache(capacity_pages=4096)
+    for page in range(4096):
+        cache.insert((1, page))
+    rng = random.Random(5)
+    pages = [rng.randrange(0, 8192) for _ in range(1024)]
+    index = 0
+
+    def cycle():
+        nonlocal index
+        index = (index + 1) % len(pages)
+        key = (1, pages[index])
+        if not cache.lookup(key):
+            cache.insert(key)
+
+    benchmark(cycle)
+
+
+def test_bench_histogram_add(benchmark):
+    """Recording one latency sample into the log2 histogram."""
+    histogram = LatencyHistogram()
+    rng = random.Random(7)
+    samples = [rng.uniform(1_000.0, 20_000_000.0) for _ in range(1024)]
+    index = 0
+
+    def add():
+        nonlocal index
+        index = (index + 1) % len(samples)
+        histogram.add(samples[index])
+
+    benchmark(add)
+
+
+def test_bench_summarize_repetitions(benchmark):
+    """Summary statistics over a typical repetition count."""
+    values = [9700.0 + i * 13.0 for i in range(10)]
+    benchmark(summarize, values)

@@ -1,0 +1,31 @@
+"""Benchmark: the multi-dimensional nano-benchmark suite (Section 4).
+
+Runs the paper's proposed minimum suite -- in-memory, disk-layout, cache
+warm-up/eviction, meta-data and scaling components -- across the three
+simulated file systems on a quarter-scale testbed, and records the
+per-dimension winners (or the honest absence of one).
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.comparison import compare_repetition_sets
+from repro.core.suite import NanoBenchmarkSuite
+from repro.storage.config import scaled_testbed
+
+
+def run_suite():
+    suite = NanoBenchmarkSuite(testbed=scaled_testbed(0.25), quick=True)
+    return suite.run(fs_types=("ext2", "ext3", "xfs"))
+
+
+def test_bench_nano_suite(benchmark):
+    result = run_once(benchmark, run_suite)
+    verdicts = {}
+    for name in result.benchmark_names():
+        ext2 = result.result_for(name, "ext2")
+        xfs = result.result_for(name, "xfs")
+        verdict = compare_repetition_sets("ext2", ext2, "xfs", xfs)
+        verdicts[name] = verdict.winner if verdict.significant else "no difference"
+    benchmark.extra_info["ext2_vs_xfs_winners"] = str(verdicts)
+    benchmark.extra_info["benchmarks"] = len(result.benchmark_names())
+    assert len(result.benchmark_names()) >= 6
+    assert set(result.filesystems()) == {"ext2", "ext3", "xfs"}

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Demonstrate benchmark fragility around the page-cache boundary (Figure 1).
+
+Sweeps the random-read working set across the page-cache size, printing the
+Figure-1 style table (mean throughput and relative standard deviation per
+size), then uses the self-scaling sweep to localise the cliff the way
+Section 3.1 does ("performance drops within an even narrower region -- less
+than 6 MB in size") and prints the fragility report a careful researcher
+should attach to such results.
+
+::
+
+    python examples/fragility_demo.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.fragility import assess_sweep
+from repro.analysis.regimes import regime_ranges
+from repro.core.report import ascii_plot, sweep_table
+from repro.core.runner import BenchmarkConfig, WarmupMode
+from repro.core.selfscaling import SelfScalingBenchmark
+from repro.storage.config import paper_testbed, scaled_testbed
+from repro.workloads.micro import random_read_workload
+
+MiB = 1024 * 1024
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run on a 1/8-scale machine")
+    parser.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    args = parser.parse_args(argv)
+
+    testbed = scaled_testbed(0.125) if args.quick else paper_testbed()
+    cache_bytes = testbed.page_cache_bytes
+
+    config = BenchmarkConfig(
+        duration_s=2.0 if args.quick else 5.0,
+        repetitions=3 if args.quick else 5,
+        warmup_mode=WarmupMode.PREWARM,
+        interval_s=1.0,
+    )
+    benchmark = SelfScalingBenchmark(
+        workload_for_parameter=lambda size: random_read_workload(int(size)),
+        fs_type=args.fs,
+        testbed=testbed,
+        config=config,
+        parameter_name="file_size",
+        unit="bytes",
+    )
+    result = benchmark.run(
+        low=cache_bytes * 0.5,
+        high=cache_bytes * 1.75,
+        coarse_points=6,
+        resolution=cache_bytes * 0.02,
+    )
+
+    print(f"Self-scaling sweep of {args.fs} random-read throughput vs working-set size")
+    print(f"Page cache: {cache_bytes // MiB} MiB\n")
+    print(sweep_table(result.sweep))
+    print()
+    print(ascii_plot(result.sweep.mean_throughputs(), x_label="file size (bytes)", y_label="ops/s"))
+    print()
+    print("Transition:", result.describe("bytes"))
+    print()
+    print("Regime ranges:")
+    for regime, low, high in regime_ranges(result.sweep):
+        print(f"  {regime.value:>14}: {low / MiB:7.1f} .. {high / MiB:7.1f} MiB")
+    print()
+    print("Fragility report:")
+    print(assess_sweep(result.sweep).format())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,4 @@
+"""Setup shim for environments that install via the legacy setuptools path."""
+from setuptools import setup
+
+setup()

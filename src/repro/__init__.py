@@ -1,0 +1,91 @@
+"""fsbench-rocket: file system benchmarking as a multi-dimensional discipline.
+
+A reproduction of "Benchmarking File System Benchmarking: It *IS* Rocket
+Science" (Tarasov, Bhanage, Zadok, Seltzer -- HotOS XIII, 2011) as a usable
+Python library:
+
+* :mod:`repro.core` -- the benchmarking methodology the paper calls for:
+  dimension taxonomy, nano-benchmark suite, statistically honest runners,
+  latency histograms, timelines, steady-state detection, self-scaling sweeps,
+  range-based reporting and the Table-1 survey database.
+* :mod:`repro.storage` -- the simulated storage substrate (virtual clock,
+  disk/SSD models, page cache, readahead, block layer).
+* :mod:`repro.fs` -- behavioural Ext2/Ext3/XFS models and the VFS gluing the
+  stack together.
+* :mod:`repro.workloads` -- the workload model (flowops, filesets), micro
+  workloads, Filebench-like personalities, PostMark, compile and IOmeter-like
+  generators, and trace record/replay.
+* :mod:`repro.analysis` -- regime labelling, transition detection, fragility
+  and honest cross-system comparison.
+* :mod:`repro.experiments` -- one harness per figure/table of the paper.
+
+Quick start::
+
+    from repro import build_stack, random_read_workload, BenchmarkRunner
+
+    runner = BenchmarkRunner(fs_type="ext2")
+    result = runner.run(random_read_workload(256 * 1024 * 1024))
+    print(result.throughput_summary().format("ops/s"))
+"""
+
+from repro.core import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    Coverage,
+    Dimension,
+    DimensionVector,
+    LatencyHistogram,
+    NanoBenchmark,
+    NanoBenchmarkSuite,
+    RepetitionSet,
+    RunResult,
+    SelfScalingBenchmark,
+    SummaryStatistics,
+    SurveyDatabase,
+    SweepResult,
+    WarmupMode,
+    default_suite,
+    load_paper_survey,
+    summarize,
+)
+from repro.fs import build_stack, StorageStack
+from repro.storage import paper_testbed, scaled_testbed, TestbedConfig
+from repro.workloads import (
+    WorkloadEngine,
+    WorkloadSpec,
+    random_read_workload,
+    sequential_read_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "Coverage",
+    "Dimension",
+    "DimensionVector",
+    "LatencyHistogram",
+    "NanoBenchmark",
+    "NanoBenchmarkSuite",
+    "RepetitionSet",
+    "RunResult",
+    "SelfScalingBenchmark",
+    "SummaryStatistics",
+    "SurveyDatabase",
+    "SweepResult",
+    "WarmupMode",
+    "default_suite",
+    "load_paper_survey",
+    "summarize",
+    "build_stack",
+    "StorageStack",
+    "paper_testbed",
+    "scaled_testbed",
+    "TestbedConfig",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "random_read_workload",
+    "sequential_read_workload",
+    "__version__",
+]

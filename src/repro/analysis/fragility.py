@@ -1,0 +1,166 @@
+"""Fragility assessment: how much can this result be trusted?
+
+"Benchmarks are very fragile: just a tiny variation in the amount of
+available cache space can produce a large variation in performance."  The
+functions here scan a finished sweep (or a single repetition set) and emit
+explicit, human-readable warnings wherever the data shows one of the paper's
+failure patterns:
+
+* run-to-run relative standard deviation above a threshold,
+* an order-of-magnitude cliff between adjacent parameter values,
+* repetitions that straddle regimes (some cached, some not),
+* bi-modal latency distributions hiding behind a mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.regimes import Regime, classify_run
+from repro.analysis.transition import find_transition
+from repro.core.results import RepetitionSet, SweepResult
+
+
+@dataclass(frozen=True)
+class FragilityWarning:
+    """One specific reason to distrust (or heavily qualify) a result."""
+
+    kind: str
+    message: str
+    parameter: Optional[float] = None
+    severity: str = "warning"  # "warning" | "severe"
+
+    def format(self) -> str:
+        """Render as a single report line."""
+        prefix = "SEVERE" if self.severity == "severe" else "warning"
+        where = f" at {self.parameter:g}" if self.parameter is not None else ""
+        return f"[{prefix}] {self.kind}{where}: {self.message}"
+
+
+@dataclass
+class FragilityReport:
+    """All warnings for one sweep or repetition set."""
+
+    warnings: List[FragilityWarning] = field(default_factory=list)
+
+    def add(self, warning: FragilityWarning) -> None:
+        """Append one warning."""
+        self.warnings.append(warning)
+
+    @property
+    def is_clean(self) -> bool:
+        """True when nothing suspicious was found."""
+        return not self.warnings
+
+    @property
+    def severe_count(self) -> int:
+        """Number of severe warnings."""
+        return sum(1 for w in self.warnings if w.severity == "severe")
+
+    def format(self) -> str:
+        """Render the report (or a clean bill of health)."""
+        if self.is_clean:
+            return "No fragility indicators found."
+        return "\n".join(warning.format() for warning in self.warnings)
+
+
+#: Relative standard deviation (in %) above which a result is flagged.
+RSD_WARNING_PERCENT = 10.0
+RSD_SEVERE_PERCENT = 25.0
+#: Adjacent-point change factor above which a cliff is flagged.
+CLIFF_FACTOR = 3.0
+
+
+def assess_repetitions(
+    repetitions: RepetitionSet, parameter: Optional[float] = None
+) -> List[FragilityWarning]:
+    """Warnings for one repetition set."""
+    warnings: List[FragilityWarning] = []
+    summary = repetitions.throughput_summary()
+    rsd = summary.relative_stddev_percent
+    if rsd >= RSD_SEVERE_PERCENT:
+        warnings.append(
+            FragilityWarning(
+                kind="run-to-run variation",
+                parameter=parameter,
+                severity="severe",
+                message=(
+                    f"relative standard deviation is {rsd:.0f}% across {summary.n} repetitions; "
+                    "the mean alone is meaningless here"
+                ),
+            )
+        )
+    elif rsd >= RSD_WARNING_PERCENT:
+        warnings.append(
+            FragilityWarning(
+                kind="run-to-run variation",
+                parameter=parameter,
+                message=f"relative standard deviation is {rsd:.0f}% across {summary.n} repetitions",
+            )
+        )
+
+    regimes = {classify_run(run) for run in repetitions}
+    if len(regimes) > 1:
+        names = ", ".join(sorted(r.value for r in regimes))
+        warnings.append(
+            FragilityWarning(
+                kind="regime instability",
+                parameter=parameter,
+                severity="severe",
+                message=(
+                    f"repetitions fall into different regimes ({names}); "
+                    "a few megabytes of cache decide which subsystem is measured"
+                ),
+            )
+        )
+
+    merged = repetitions.merged_histogram()
+    if not merged.is_empty and merged.is_bimodal():
+        warnings.append(
+            FragilityWarning(
+                kind="bi-modal latency",
+                parameter=parameter,
+                message=(
+                    "the latency distribution has multiple peaks "
+                    f"(spanning {merged.span_orders_of_magnitude():.1f} orders of magnitude); "
+                    "report the histogram, not the average"
+                ),
+            )
+        )
+    return warnings
+
+
+def assess_sweep(sweep: SweepResult) -> FragilityReport:
+    """Full fragility report for a parameter sweep."""
+    report = FragilityReport()
+    for parameter in sweep.parameters():
+        for warning in assess_repetitions(sweep.repetitions_at(parameter), parameter):
+            report.add(warning)
+
+    transition = find_transition(sweep, min_drop_factor=CLIFF_FACTOR)
+    if transition is not None:
+        report.add(
+            FragilityWarning(
+                kind="performance cliff",
+                parameter=transition.parameter_low,
+                severity="severe",
+                message=(
+                    f"{transition.describe(sweep.unit)}; any single point in this range "
+                    "misrepresents the system"
+                ),
+            )
+        )
+
+    dynamic_range = sweep.dynamic_range()
+    if dynamic_range >= 10.0:
+        report.add(
+            FragilityWarning(
+                kind="wide dynamic range",
+                message=(
+                    f"mean throughput varies {dynamic_range:.0f}x across the sweep; "
+                    "publish the whole curve, not a point"
+                ),
+            )
+        )
+    return report

@@ -1,0 +1,114 @@
+"""Command-line interface: regenerate any of the paper's figures or tables.
+
+Examples::
+
+    fsbench-rocket table1
+    fsbench-rocket figure1 --fs ext2
+    fsbench-rocket figure2 --paper-scale
+    fsbench-rocket suite --quick --fs ext2 --fs xfs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.report import suite_report
+from repro.core.suite import NanoBenchmarkSuite
+from repro.experiments import (
+    default_scale,
+    paper_scale,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_transition_zoom,
+)
+from repro.storage.config import paper_testbed, scaled_testbed
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fsbench-rocket",
+        description="Reproduce the experiments of 'Benchmarking File System Benchmarking' (HotOS XIII).",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full durations and repetition counts (slower)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, needs_fs in (
+        ("figure1", True),
+        ("figure2", False),
+        ("figure3", True),
+        ("figure4", True),
+        ("zoom", True),
+        ("table1", False),
+    ):
+        sub = subparsers.add_parser(name, help=f"regenerate {name}")
+        if needs_fs:
+            sub.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+        if name == "figure2":
+            sub.add_argument(
+                "--fs",
+                action="append",
+                choices=("ext2", "ext3", "xfs"),
+                help="file systems to compare (repeatable; default all three)",
+            )
+
+    suite = subparsers.add_parser("suite", help="run the multi-dimensional nano-benchmark suite")
+    suite.add_argument("--fs", action="append", choices=("ext2", "ext3", "xfs"))
+    suite.add_argument("--quick", action="store_true", help="smaller filesets and fewer repetitions")
+    suite.add_argument(
+        "--scaled-testbed",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125) for quick runs",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    scale = paper_scale() if args.paper_scale else default_scale()
+
+    if args.command == "table1":
+        print(run_table1().render())
+        return 0
+    if args.command == "figure1":
+        print(run_figure1(fs_type=args.fs, scale=scale).render())
+        return 0
+    if args.command == "figure2":
+        fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
+        print(run_figure2(fs_types=fs_types, scale=scale).render())
+        return 0
+    if args.command == "figure3":
+        print(run_figure3(fs_type=args.fs, scale=scale).render())
+        return 0
+    if args.command == "figure4":
+        print(run_figure4(fs_type=args.fs, scale=scale).render())
+        return 0
+    if args.command == "zoom":
+        print(run_transition_zoom(fs_type=args.fs, scale=scale).render())
+        return 0
+    if args.command == "suite":
+        fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
+        testbed = (
+            scaled_testbed(args.scaled_testbed) if args.scaled_testbed else paper_testbed()
+        )
+        suite = NanoBenchmarkSuite(testbed=testbed, quick=args.quick)
+        print(suite_report(suite.run(fs_types)))
+        return 0
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

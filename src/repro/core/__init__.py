@@ -1,0 +1,100 @@
+"""The benchmarking core: the paper's proposed methodology, implemented.
+
+The HotOS paper's position is that file systems must be evaluated as
+multi-dimensional systems, with statistically honest reporting.  This
+subpackage is that methodology as a library:
+
+* :mod:`repro.core.dimensions` -- the five evaluation dimensions and coverage
+  vectors for benchmarks.
+* :mod:`repro.core.histogram` -- log2-bucket latency histograms (the paper's
+  Filebench modification).
+* :mod:`repro.core.timeline` -- throughput and histogram time series
+  (Figures 2 and 4).
+* :mod:`repro.core.stats` -- summary statistics, confidence intervals,
+  bi-modality detection, fragility metrics.
+* :mod:`repro.core.steady_state` -- warm-up trimming and steady-state
+  detection.
+* :mod:`repro.core.results` -- run/repetition/sweep result containers.
+* :mod:`repro.core.runner` -- the measurement protocol: repetitions,
+  cache-state control, environment-noise injection, interval sampling.
+* :mod:`repro.core.benchmark`, :mod:`repro.core.suite` -- nano-benchmarks and
+  the multi-dimensional suite the paper calls for.
+* :mod:`repro.core.selfscaling` -- self-scaling parameter sweeps that locate
+  the memory/disk transition automatically.
+* :mod:`repro.core.report` -- multi-dimensional, range-based reporting.
+* :mod:`repro.core.survey` -- the benchmark-usage survey behind Table 1.
+"""
+
+from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.histogram import LatencyHistogram, bucket_label
+from repro.core.persistence import (
+    load_repetitions,
+    load_sweep,
+    save_repetitions,
+    save_sweep,
+)
+from repro.core.results import RepetitionSet, RunResult, SweepResult
+from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
+from repro.core.stats import (
+    SummaryStatistics,
+    bimodality_coefficient,
+    bootstrap_ci,
+    confidence_interval,
+    detect_outliers_iqr,
+    fragility_index,
+    required_repetitions,
+    summarize,
+    welch_t_test,
+)
+from repro.core.steady_state import SteadyStateDetector, detect_steady_state, trim_warmup
+from repro.core.timeline import HistogramTimeline, IntervalSeries
+from repro.core.benchmark import NanoBenchmark
+from repro.core.suite import NanoBenchmarkSuite, SuiteResult, default_suite
+from repro.core.selfscaling import SelfScalingBenchmark, SelfScalingResult
+from repro.core.report import ReportBuilder, ascii_plot, format_table
+from repro.core.survey import BenchmarkEntry, SurveyDatabase, load_paper_survey
+
+__all__ = [
+    "Coverage",
+    "Dimension",
+    "DimensionVector",
+    "LatencyHistogram",
+    "bucket_label",
+    "load_repetitions",
+    "load_sweep",
+    "save_repetitions",
+    "save_sweep",
+    "RepetitionSet",
+    "RunResult",
+    "SweepResult",
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "EnvironmentNoise",
+    "WarmupMode",
+    "SummaryStatistics",
+    "bimodality_coefficient",
+    "bootstrap_ci",
+    "confidence_interval",
+    "detect_outliers_iqr",
+    "fragility_index",
+    "required_repetitions",
+    "summarize",
+    "welch_t_test",
+    "SteadyStateDetector",
+    "detect_steady_state",
+    "trim_warmup",
+    "HistogramTimeline",
+    "IntervalSeries",
+    "NanoBenchmark",
+    "NanoBenchmarkSuite",
+    "SuiteResult",
+    "default_suite",
+    "SelfScalingBenchmark",
+    "SelfScalingResult",
+    "ReportBuilder",
+    "ascii_plot",
+    "format_table",
+    "BenchmarkEntry",
+    "SurveyDatabase",
+    "load_paper_survey",
+]

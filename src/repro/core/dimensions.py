@@ -1,0 +1,173 @@
+"""File system evaluation dimensions (Section 2 of the paper).
+
+The paper proposes evaluating file systems along explicit dimensions rather
+than with single numbers:
+
+* **I/O** -- the device underneath the file system (bandwidth/latency by
+  request size);
+* **On-disk** -- the efficacy of the on-disk data and metadata layout;
+* **Caching** -- cache warm-up, eviction and prefetch behaviour (what
+  "warm-cache" or small-working-set benchmarks actually measure);
+* **Meta-data** -- namespace operations (create, delete, stat, rename);
+* **Scaling** -- behaviour as load (threads, clients, file counts) grows.
+
+Each benchmark covers each dimension at one of three levels, matching the
+paper's Table 1 legend: it may *isolate* the dimension ("•"), merely
+*exercise* it without isolating it ("◦"), or depend entirely on the trace /
+production workload being replayed ("⋆").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class Dimension(str, Enum):
+    """The five evaluation dimensions proposed by the paper."""
+
+    IO = "io"
+    ONDISK = "ondisk"
+    CACHING = "caching"
+    METADATA = "metadata"
+    SCALING = "scaling"
+
+    @property
+    def title(self) -> str:
+        """Human-readable name used in report headers."""
+        return _DIMENSION_TITLES[self]
+
+    @property
+    def description(self) -> str:
+        """One-sentence description of what the dimension measures."""
+        return _DIMENSION_DESCRIPTIONS[self]
+
+    @classmethod
+    def ordered(cls) -> List["Dimension"]:
+        """Dimensions in the order Table 1 lists them."""
+        return [cls.IO, cls.ONDISK, cls.CACHING, cls.METADATA, cls.SCALING]
+
+
+_DIMENSION_TITLES: Dict[Dimension, str] = {
+    Dimension.IO: "I/O",
+    Dimension.ONDISK: "On-disk",
+    Dimension.CACHING: "Caching",
+    Dimension.METADATA: "Meta-data",
+    Dimension.SCALING: "Scaling",
+}
+
+_DIMENSION_DESCRIPTIONS: Dict[Dimension, str] = {
+    Dimension.IO: "Bandwidth and latency of the underlying device for various request sizes.",
+    Dimension.ONDISK: "Efficacy of the on-disk data and meta-data layout, measured from a cold cache.",
+    Dimension.CACHING: "Cache warm-up, eviction and prefetching behaviour (not raw memory speed).",
+    Dimension.METADATA: "Namespace operations: create, delete, stat, rename, directory scans.",
+    Dimension.SCALING: "Behaviour as offered load grows (threads, clients, population size).",
+}
+
+
+class Coverage(str, Enum):
+    """How well a benchmark covers a dimension (the Table 1 legend)."""
+
+    ISOLATES = "isolates"
+    EXERCISES = "exercises"
+    TRACE_DEPENDENT = "trace"
+    NONE = "none"
+
+    @property
+    def symbol(self) -> str:
+        """The symbol used in the paper's Table 1."""
+        return {
+            Coverage.ISOLATES: "*",
+            Coverage.EXERCISES: "o",
+            Coverage.TRACE_DEPENDENT: "#",
+            Coverage.NONE: " ",
+        }[self]
+
+    @property
+    def score(self) -> float:
+        """A numeric coverage score used for aggregate coverage metrics."""
+        return {
+            Coverage.ISOLATES: 1.0,
+            Coverage.EXERCISES: 0.5,
+            Coverage.TRACE_DEPENDENT: 0.25,
+            Coverage.NONE: 0.0,
+        }[self]
+
+
+@dataclass
+class DimensionVector:
+    """Coverage of every dimension by one benchmark or workload."""
+
+    coverage: Dict[Dimension, Coverage] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for dimension in Dimension:
+            self.coverage.setdefault(dimension, Coverage.NONE)
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def of(
+        cls,
+        isolates: Iterable[Dimension] = (),
+        exercises: Iterable[Dimension] = (),
+        trace: Iterable[Dimension] = (),
+    ) -> "DimensionVector":
+        """Build a vector from per-level dimension lists."""
+        vector = cls()
+        for dimension in trace:
+            vector.coverage[Dimension(dimension)] = Coverage.TRACE_DEPENDENT
+        for dimension in exercises:
+            vector.coverage[Dimension(dimension)] = Coverage.EXERCISES
+        for dimension in isolates:
+            vector.coverage[Dimension(dimension)] = Coverage.ISOLATES
+        return vector
+
+    @classmethod
+    def from_names(cls, names: Iterable[str], level: Coverage = Coverage.EXERCISES) -> "DimensionVector":
+        """Build a vector from dimension-name strings (workload specs use strings)."""
+        vector = cls()
+        for name in names:
+            vector.coverage[Dimension(name)] = level
+        return vector
+
+    # -------------------------------------------------------------- queries
+    def __getitem__(self, dimension: Dimension) -> Coverage:
+        return self.coverage[Dimension(dimension)]
+
+    def covers(self, dimension: Dimension) -> bool:
+        """True if the dimension is covered at any level."""
+        return self[dimension] is not Coverage.NONE
+
+    def isolates(self, dimension: Dimension) -> bool:
+        """True if the dimension is isolated (Table 1 "•")."""
+        return self[dimension] is Coverage.ISOLATES
+
+    def covered_dimensions(self) -> List[Dimension]:
+        """Dimensions covered at any level, in Table 1 order."""
+        return [d for d in Dimension.ordered() if self.covers(d)]
+
+    def isolation_score(self) -> float:
+        """Aggregate coverage score in [0, 5]; higher means better isolation."""
+        return sum(self[d].score for d in Dimension)
+
+    def row_symbols(self) -> List[str]:
+        """Per-dimension symbols in Table 1 column order."""
+        return [self[d].symbol for d in Dimension.ordered()]
+
+    def merge_max(self, other: "DimensionVector") -> "DimensionVector":
+        """Combine two vectors, keeping the stronger coverage per dimension."""
+        merged = DimensionVector()
+        for dimension in Dimension:
+            a, b = self[dimension], other[dimension]
+            merged.coverage[dimension] = a if a.score >= b.score else b
+        return merged
+
+    def describe(self) -> str:
+        """Readable summary, e.g. ``"isolates: caching; exercises: io"``."""
+        parts = []
+        for level in (Coverage.ISOLATES, Coverage.EXERCISES, Coverage.TRACE_DEPENDENT):
+            names = [d.value for d in Dimension.ordered() if self[d] is level]
+            if names:
+                parts.append(f"{level.value}: {', '.join(names)}")
+        return "; ".join(parts) if parts else "covers nothing"

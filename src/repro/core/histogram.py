@@ -1,0 +1,218 @@
+"""Log2-bucket latency histograms.
+
+Section 3.2 of the paper modifies Filebench to collect latency histograms
+(after Joukov et al., OSDI 2006) because "average latency is not a good metric
+to evaluate user satisfaction".  The histograms in Figures 3 and 4 use log2
+nanosecond buckets on the X axis (bucket *n* covers latencies in
+``[2^n, 2^(n+1))`` ns) and the percentage of operations on the Y axis.
+
+:class:`LatencyHistogram` is that data structure, with the operations the
+reporting and analysis layers need: merging, normalisation, percentiles, mode
+(peak) detection and ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Default number of log2 buckets: covers [1 ns, ~17.6 minutes).
+DEFAULT_BUCKETS = 40
+
+
+def bucket_of(latency_ns: float) -> int:
+    """Bucket index for a latency: ``floor(log2(latency_ns))``, clamped at 0."""
+    if latency_ns < 1.0:
+        return 0
+    return int(latency_ns).bit_length() - 1
+
+
+def bucket_label(index: int) -> str:
+    """Human-readable lower bound of a bucket (``"4us"``, ``"17ms"``, ...)."""
+    low = 2 ** index
+    if low < 1_000:
+        return f"{low}ns"
+    if low < 1_000_000:
+        return f"{low / 1_000:.0f}us"
+    if low < 1_000_000_000:
+        return f"{low / 1_000_000:.0f}ms"
+    return f"{low / 1_000_000_000:.1f}s"
+
+
+class LatencyHistogram:
+    """A histogram of operation latencies over log2 nanosecond buckets."""
+
+    __slots__ = ("counts", "total", "sum_ns", "min_ns", "max_ns")
+
+    def __init__(self, buckets: int = DEFAULT_BUCKETS) -> None:
+        if buckets <= 0:
+            raise ValueError("buckets must be positive")
+        self.counts = [0] * buckets
+        self.total = 0
+        self.sum_ns = 0.0
+        self.min_ns = math.inf
+        self.max_ns = 0.0
+
+    # --------------------------------------------------------------- filling
+    def add(self, latency_ns: float) -> None:
+        """Record one latency sample."""
+        if latency_ns < 0:
+            raise ValueError("latency must be non-negative")
+        index = bucket_of(latency_ns)
+        if index >= len(self.counts):
+            index = len(self.counts) - 1
+        self.counts[index] += 1
+        self.total += 1
+        self.sum_ns += latency_ns
+        if latency_ns < self.min_ns:
+            self.min_ns = latency_ns
+        if latency_ns > self.max_ns:
+            self.max_ns = latency_ns
+
+    def add_many(self, latencies_ns: Iterable[float]) -> None:
+        """Record many latency samples."""
+        for latency in latencies_ns:
+            self.add(latency)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Return a new histogram combining this one and ``other``."""
+        size = max(len(self.counts), len(other.counts))
+        merged = LatencyHistogram(size)
+        for index, count in enumerate(self.counts):
+            merged.counts[index] += count
+        for index, count in enumerate(other.counts):
+            merged.counts[index] += count
+        merged.total = self.total + other.total
+        merged.sum_ns = self.sum_ns + other.sum_ns
+        merged.min_ns = min(self.min_ns, other.min_ns)
+        merged.max_ns = max(self.max_ns, other.max_ns)
+        return merged
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no samples have been recorded."""
+        return self.total == 0
+
+    def mean_ns(self) -> float:
+        """Exact mean of the recorded samples (not bucket-approximated)."""
+        return self.sum_ns / self.total if self.total else 0.0
+
+    def percentages(self) -> List[float]:
+        """Per-bucket percentage of operations (the Y axis of Figure 3)."""
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [100.0 * count / self.total for count in self.counts]
+
+    def fractions(self) -> List[float]:
+        """Per-bucket fraction of operations."""
+        if self.total == 0:
+            return [0.0] * len(self.counts)
+        return [count / self.total for count in self.counts]
+
+    def percentile(self, p: float) -> float:
+        """Approximate percentile latency (ns), using bucket midpoints.
+
+        ``p`` is in ``[0, 100]``.  Returns 0 for an empty histogram.
+        """
+        if not (0.0 <= p <= 100.0):
+            raise ValueError("p must be in [0, 100]")
+        if self.total == 0:
+            return 0.0
+        target = self.total * p / 100.0
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            if running >= target and count > 0:
+                low = 2.0 ** index
+                high = 2.0 ** (index + 1)
+                # Interpolate inside the bucket.
+                into = (target - (running - count)) / count
+                return low + (high - low) * max(0.0, min(1.0, into))
+        return self.max_ns
+
+    def median_ns(self) -> float:
+        """Approximate median latency."""
+        return self.percentile(50.0)
+
+    def nonzero_range(self) -> Tuple[int, int]:
+        """(first, last) bucket indices holding samples; (0, 0) when empty."""
+        first = last = 0
+        seen = False
+        for index, count in enumerate(self.counts):
+            if count:
+                if not seen:
+                    first = index
+                    seen = True
+                last = index
+        return (first, last) if seen else (0, 0)
+
+    def span_orders_of_magnitude(self) -> float:
+        """How many orders of magnitude (base 10) the recorded latencies span."""
+        if self.total == 0 or self.min_ns <= 0:
+            return 0.0
+        return math.log10(self.max_ns / self.min_ns) if self.max_ns > self.min_ns else 0.0
+
+    # ----------------------------------------------------------------- modes
+    def modes(self, min_fraction: float = 0.05, min_separation: int = 2) -> List[int]:
+        """Indices of local peaks holding at least ``min_fraction`` of samples.
+
+        Two peaks closer than ``min_separation`` buckets are merged (the
+        taller one wins).  This is how the analysis layer decides whether a
+        latency distribution is uni- or bi-modal (Figure 3's reading).
+        """
+        if not (0.0 < min_fraction < 1.0):
+            raise ValueError("min_fraction must be in (0, 1)")
+        fractions = self.fractions()
+        peaks: List[int] = []
+        for index, value in enumerate(fractions):
+            if value < min_fraction:
+                continue
+            left = fractions[index - 1] if index > 0 else 0.0
+            right = fractions[index + 1] if index + 1 < len(fractions) else 0.0
+            if value >= left and value >= right:
+                peaks.append(index)
+        # Collapse plateaus / near-adjacent peaks.
+        merged: List[int] = []
+        for peak in peaks:
+            if merged and peak - merged[-1] < min_separation:
+                if fractions[peak] > fractions[merged[-1]]:
+                    merged[-1] = peak
+            else:
+                merged.append(peak)
+        return merged
+
+    def is_bimodal(self, min_fraction: float = 0.05) -> bool:
+        """True when at least two well-separated peaks exist."""
+        return len(self.modes(min_fraction=min_fraction)) >= 2
+
+    # ------------------------------------------------------------- rendering
+    def to_ascii(self, width: int = 50, min_bucket: Optional[int] = None, max_bucket: Optional[int] = None) -> str:
+        """Render the histogram as rows of ``label | bar | percent``."""
+        first, last = self.nonzero_range()
+        lo = first if min_bucket is None else min_bucket
+        hi = last if max_bucket is None else max_bucket
+        percentages = self.percentages()
+        peak = max(percentages[lo : hi + 1], default=0.0) or 1.0
+        lines = []
+        for index in range(lo, hi + 1):
+            pct = percentages[index]
+            bar = "#" * int(round(width * pct / peak))
+            lines.append(f"{index:>3} {bucket_label(index):>7} |{bar:<{width}}| {pct:5.1f}%")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(n={self.total}, mean={self.mean_ns():.0f}ns, "
+            f"modes={self.modes() if self.total else []})"
+        )
+
+
+def from_latencies(latencies_ns: Sequence[float], buckets: int = DEFAULT_BUCKETS) -> LatencyHistogram:
+    """Convenience constructor: build a histogram from a latency list."""
+    histogram = LatencyHistogram(buckets)
+    histogram.add_many(latencies_ns)
+    return histogram

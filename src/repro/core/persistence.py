@@ -1,0 +1,233 @@
+"""Saving and loading benchmark results.
+
+"In the interest of full disclosure, let's report a range of values that span
+multiple dimensions" -- which only works if results can leave the machine
+they were measured on.  This module serialises the result containers
+(:class:`~repro.core.results.RunResult`, :class:`RepetitionSet`,
+:class:`SweepResult`) to plain JSON so that sweeps can be archived alongside
+a paper, diffed between runs, or re-analysed without re-simulation.
+
+The format is intentionally boring: a top-level ``format``/``version`` pair,
+then nested dictionaries mirroring the dataclasses.  Histograms are stored as
+their bucket counts, timelines as per-interval operation/byte/latency arrays;
+everything needed by the analysis and reporting layers round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.core.histogram import LatencyHistogram
+from repro.core.results import RepetitionSet, RunResult, SweepResult
+from repro.core.timeline import HistogramTimeline, IntervalSeries
+
+FORMAT_NAME = "fsbench-rocket-results"
+FORMAT_VERSION = 1
+
+
+# --------------------------------------------------------------------------- encode
+def _histogram_to_dict(histogram: LatencyHistogram) -> Dict:
+    return {
+        "counts": list(histogram.counts),
+        "total": histogram.total,
+        "sum_ns": histogram.sum_ns,
+        "min_ns": histogram.min_ns if histogram.total else None,
+        "max_ns": histogram.max_ns,
+    }
+
+
+def _timeline_to_dict(series: IntervalSeries) -> Dict:
+    return {
+        "interval_s": series.interval_s,
+        "origin_ns": series.origin_ns,
+        "ops": list(series._ops),
+        "bytes": list(series._bytes),
+        "latency_sums": list(series._latency_sums),
+    }
+
+
+def _histogram_timeline_to_dict(timeline: HistogramTimeline) -> Dict:
+    return {
+        "interval_s": timeline.interval_s,
+        "origin_ns": timeline.origin_ns,
+        "buckets": timeline.buckets,
+        "histograms": [_histogram_to_dict(histogram) for histogram in timeline.histograms()],
+    }
+
+
+def run_result_to_dict(run: RunResult) -> Dict:
+    """Serialise one :class:`RunResult` to a JSON-compatible dictionary."""
+    return {
+        "workload_name": run.workload_name,
+        "fs_name": run.fs_name,
+        "repetition": run.repetition,
+        "seed": run.seed,
+        "measured_duration_s": run.measured_duration_s,
+        "warmup_duration_s": run.warmup_duration_s,
+        "operations": run.operations,
+        "throughput_ops_s": run.throughput_ops_s,
+        "cache_hit_ratio": run.cache_hit_ratio,
+        "device_reads": run.device_reads,
+        "device_writes": run.device_writes,
+        "bytes_read": run.bytes_read,
+        "bytes_written": run.bytes_written,
+        "environment": dict(run.environment),
+        "histogram": _histogram_to_dict(run.histogram),
+        "timeline": _timeline_to_dict(run.timeline),
+        "histogram_timeline": (
+            _histogram_timeline_to_dict(run.histogram_timeline)
+            if run.histogram_timeline is not None
+            else None
+        ),
+        "raw_latencies_ns": list(run.raw_latencies_ns) if run.raw_latencies_ns is not None else None,
+    }
+
+
+def repetition_set_to_dict(repetitions: RepetitionSet) -> Dict:
+    """Serialise a :class:`RepetitionSet`."""
+    return {
+        "label": repetitions.label,
+        "runs": [run_result_to_dict(run) for run in repetitions.runs],
+    }
+
+
+def sweep_to_dict(sweep: SweepResult) -> Dict:
+    """Serialise a :class:`SweepResult`."""
+    return {
+        "parameter_name": sweep.parameter_name,
+        "unit": sweep.unit,
+        "points": [
+            {"parameter": parameter, "repetitions": repetition_set_to_dict(sweep.points[parameter])}
+            for parameter in sweep.parameters()
+        ],
+    }
+
+
+# --------------------------------------------------------------------------- decode
+def _histogram_from_dict(payload: Dict) -> LatencyHistogram:
+    histogram = LatencyHistogram(buckets=len(payload["counts"]))
+    histogram.counts = [int(count) for count in payload["counts"]]
+    histogram.total = int(payload["total"])
+    histogram.sum_ns = float(payload["sum_ns"])
+    histogram.max_ns = float(payload["max_ns"])
+    minimum = payload.get("min_ns")
+    histogram.min_ns = float(minimum) if minimum is not None else float("inf")
+    return histogram
+
+
+def _timeline_from_dict(payload: Dict) -> IntervalSeries:
+    series = IntervalSeries(interval_s=payload["interval_s"], origin_ns=payload["origin_ns"])
+    series._ops = [int(value) for value in payload["ops"]]
+    series._bytes = [int(value) for value in payload["bytes"]]
+    series._latency_sums = [float(value) for value in payload["latency_sums"]]
+    return series
+
+
+def _histogram_timeline_from_dict(payload: Dict) -> HistogramTimeline:
+    timeline = HistogramTimeline(
+        interval_s=payload["interval_s"], buckets=payload["buckets"], origin_ns=payload["origin_ns"]
+    )
+    timeline._histograms = [_histogram_from_dict(entry) for entry in payload["histograms"]]
+    return timeline
+
+
+def run_result_from_dict(payload: Dict) -> RunResult:
+    """Reconstruct a :class:`RunResult` from its dictionary form."""
+    histogram_timeline = payload.get("histogram_timeline")
+    raw = payload.get("raw_latencies_ns")
+    return RunResult(
+        workload_name=payload["workload_name"],
+        fs_name=payload["fs_name"],
+        repetition=int(payload["repetition"]),
+        seed=int(payload["seed"]),
+        measured_duration_s=float(payload["measured_duration_s"]),
+        warmup_duration_s=float(payload["warmup_duration_s"]),
+        operations=int(payload["operations"]),
+        throughput_ops_s=float(payload["throughput_ops_s"]),
+        histogram=_histogram_from_dict(payload["histogram"]),
+        timeline=_timeline_from_dict(payload["timeline"]),
+        histogram_timeline=(
+            _histogram_timeline_from_dict(histogram_timeline) if histogram_timeline else None
+        ),
+        raw_latencies_ns=[float(value) for value in raw] if raw is not None else None,
+        cache_hit_ratio=float(payload["cache_hit_ratio"]),
+        device_reads=int(payload["device_reads"]),
+        device_writes=int(payload["device_writes"]),
+        bytes_read=int(payload["bytes_read"]),
+        bytes_written=int(payload["bytes_written"]),
+        environment={key: float(value) for key, value in payload["environment"].items()},
+    )
+
+
+def repetition_set_from_dict(payload: Dict) -> RepetitionSet:
+    """Reconstruct a :class:`RepetitionSet`."""
+    return RepetitionSet(
+        label=payload["label"],
+        runs=[run_result_from_dict(entry) for entry in payload["runs"]],
+    )
+
+
+def sweep_from_dict(payload: Dict) -> SweepResult:
+    """Reconstruct a :class:`SweepResult`."""
+    sweep = SweepResult(parameter_name=payload["parameter_name"], unit=payload.get("unit", ""))
+    for point in payload["points"]:
+        sweep.add(float(point["parameter"]), repetition_set_from_dict(point["repetitions"]))
+    return sweep
+
+
+# --------------------------------------------------------------------------- files
+def _wrap(kind: str, payload: Dict) -> Dict:
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "kind": kind,
+        "data": payload,
+    }
+
+
+def _unwrap(document: Dict, expected_kind: Optional[str] = None) -> Dict:
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if int(document.get("version", -1)) > FORMAT_VERSION:
+        raise ValueError(
+            f"result file version {document.get('version')} is newer than supported ({FORMAT_VERSION})"
+        )
+    if expected_kind is not None and document.get("kind") != expected_kind:
+        raise ValueError(f"expected a {expected_kind!r} document, found {document.get('kind')!r}")
+    return document["data"]
+
+
+def _write(document: Dict, destination: Union[str, TextIO]) -> None:
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+    else:
+        json.dump(document, destination, indent=2, sort_keys=True)
+
+
+def _read(source: Union[str, TextIO]) -> Dict:
+    if isinstance(source, str):
+        with open(source, "r") as handle:
+            return json.load(handle)
+    return json.load(source)
+
+
+def save_repetitions(repetitions: RepetitionSet, destination: Union[str, TextIO]) -> None:
+    """Write a repetition set to a JSON file or file object."""
+    _write(_wrap("repetition_set", repetition_set_to_dict(repetitions)), destination)
+
+
+def load_repetitions(source: Union[str, TextIO]) -> RepetitionSet:
+    """Read a repetition set written by :func:`save_repetitions`."""
+    return repetition_set_from_dict(_unwrap(_read(source), "repetition_set"))
+
+
+def save_sweep(sweep: SweepResult, destination: Union[str, TextIO]) -> None:
+    """Write a sweep (e.g. a Figure 1 regeneration) to a JSON file or file object."""
+    _write(_wrap("sweep", sweep_to_dict(sweep)), destination)
+
+
+def load_sweep(source: Union[str, TextIO]) -> SweepResult:
+    """Read a sweep written by :func:`save_sweep`."""
+    return sweep_from_dict(_unwrap(_read(source), "sweep"))

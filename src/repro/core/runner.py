@@ -1,0 +1,348 @@
+"""The measurement protocol: repetitions, cache-state control, noise injection.
+
+The runner is where the framework encodes the paper's methodological
+prescriptions:
+
+* every configuration is run several times and reported with spread, never as
+  one number;
+* the cache state at the start of measurement is an explicit, named choice
+  (:class:`WarmupMode`), not an accident of whatever ran before;
+* small, realistic environmental perturbations (a few MB of page cache, a
+  percent of CPU speed) are injected *on purpose* between repetitions, so
+  that configurations whose results depend on "just a few megabytes" show up
+  with the huge standard deviations they deserve (Section 3.1) instead of
+  accidentally looking stable;
+* the measured window is sampled in intervals so warm-up and steady state can
+  be told apart after the fact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from repro.core.histogram import LatencyHistogram
+from repro.core.results import RepetitionSet, RunResult
+from repro.core.steady_state import SteadyStateDetector
+from repro.core.timeline import HistogramTimeline, IntervalSeries
+from repro.fs.stack import StorageStack, build_stack
+from repro.storage.config import TestbedConfig, paper_testbed
+from repro.workloads.spec import OpRecord, WorkloadEngine, WorkloadSpec
+
+
+class WarmupMode(str, Enum):
+    """How the cache is conditioned before the measured window starts."""
+
+    #: Measure from a cold cache (warm-up is part of the measurement).
+    NONE = "none"
+    #: Sequentially pre-read the fileset (up to cache capacity) outside
+    #: measured time, then measure: the paper's "steady state" protocol for
+    #: files that fit in memory, without spending 19 simulated minutes.
+    PREWARM = "prewarm"
+    #: Run the workload itself for ``warmup_s`` before measuring.
+    DURATION = "duration"
+    #: Run the workload until interval throughput is statistically steady
+    #: (or ``max_warmup_s`` is reached), then measure.
+    STEADY_STATE = "steady_state"
+
+
+@dataclass(frozen=True)
+class EnvironmentNoise:
+    """Run-to-run environmental perturbation injected by the runner.
+
+    ``cache_noise_bytes`` models the paper's observation that "it is
+    difficult to control the availability of just a few megabytes from one
+    benchmark run to another": each repetition's OS memory reservation is
+    shifted by a uniform amount in ``[-cache_noise_bytes, +cache_noise_bytes]``.
+    ``cpu_noise_sigma`` applies a log-normal factor to CPU costs per
+    repetition (background daemons, frequency scaling).
+    """
+
+    cache_noise_bytes: int = 6 * 1024 * 1024
+    cpu_noise_sigma: float = 0.01
+    enabled: bool = True
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on nonsensical noise parameters."""
+        if self.cache_noise_bytes < 0:
+            raise ValueError("cache_noise_bytes must be non-negative")
+        if self.cpu_noise_sigma < 0:
+            raise ValueError("cpu_noise_sigma must be non-negative")
+
+
+@dataclass
+class BenchmarkConfig:
+    """Parameters of the measurement protocol.
+
+    Attributes
+    ----------
+    duration_s:
+        Length of the measured window in simulated seconds.
+    max_ops:
+        Optional cap on measured operations (whichever of duration/ops is
+        reached first ends the window).
+    repetitions:
+        Number of repetitions per configuration.
+    warmup_mode, warmup_s, max_warmup_s:
+        Cache conditioning before measurement (see :class:`WarmupMode`).
+    interval_s:
+        Interval of the throughput timeline.
+    histogram_interval_s:
+        Interval of the histogram timeline; ``None`` disables it.
+    collect_raw_latencies:
+        Keep every latency sample (memory heavy; off by default).
+    cold_cache:
+        Drop caches between repetitions so each starts from the same state.
+    seed:
+        Base seed; repetition ``i`` uses ``seed + i`` for both the stack and
+        the workload randomness.
+    noise:
+        Environmental perturbation injected per repetition.
+    """
+
+    duration_s: float = 20.0
+    max_ops: Optional[int] = None
+    repetitions: int = 5
+    warmup_mode: WarmupMode = WarmupMode.PREWARM
+    warmup_s: float = 0.0
+    max_warmup_s: float = 600.0
+    interval_s: float = 1.0
+    histogram_interval_s: Optional[float] = None
+    collect_raw_latencies: bool = False
+    cold_cache: bool = True
+    seed: int = 42
+    noise: EnvironmentNoise = field(default_factory=EnvironmentNoise)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for impossible configurations."""
+        if self.duration_s <= 0 and self.max_ops is None:
+            raise ValueError("need a positive duration_s or a max_ops limit")
+        if self.repetitions <= 0:
+            raise ValueError("repetitions must be positive")
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.histogram_interval_s is not None and self.histogram_interval_s <= 0:
+            raise ValueError("histogram_interval_s must be positive when set")
+        if self.warmup_mode is WarmupMode.DURATION and self.warmup_s <= 0:
+            raise ValueError("warmup_s must be positive for DURATION warm-up")
+        if self.max_warmup_s <= 0:
+            raise ValueError("max_warmup_s must be positive")
+        self.noise.validate()
+
+    def with_repetitions(self, repetitions: int) -> "BenchmarkConfig":
+        """Copy with a different repetition count."""
+        return replace(self, repetitions=repetitions)
+
+
+class _Recorder:
+    """Collects per-operation records during the measured window."""
+
+    def __init__(self, config: BenchmarkConfig, origin_ns: float) -> None:
+        self.histogram = LatencyHistogram()
+        self.timeline = IntervalSeries(interval_s=config.interval_s, origin_ns=origin_ns)
+        self.histogram_timeline = (
+            HistogramTimeline(interval_s=config.histogram_interval_s, origin_ns=origin_ns)
+            if config.histogram_interval_s is not None
+            else None
+        )
+        self.raw: Optional[List[float]] = [] if config.collect_raw_latencies else None
+        self.operations = 0
+        self.enabled = True
+
+    def __call__(self, record: OpRecord) -> None:
+        if not self.enabled:
+            return
+        self.operations += 1
+        self.histogram.add(record.latency_ns)
+        self.timeline.record(record.end_time_ns, record.latency_ns, record.bytes_moved)
+        if self.histogram_timeline is not None:
+            self.histogram_timeline.record(record.end_time_ns, record.latency_ns)
+        if self.raw is not None:
+            self.raw.append(record.latency_ns)
+
+
+class BenchmarkRunner:
+    """Runs a workload spec against a file system under the measurement protocol.
+
+    Parameters
+    ----------
+    fs_type:
+        File system to mount (``"ext2"``, ``"ext3"``, ``"xfs"``).
+    testbed:
+        Simulated machine description (defaults to the paper's testbed).
+    config:
+        Measurement protocol parameters.
+    stack_factory:
+        Override for how stacks are built (used by tests and by ablation
+        benchmarks that need custom readahead policies etc.).  The callable
+        receives ``(fs_type, testbed, seed, cpu_speed_factor)``.
+    """
+
+    def __init__(
+        self,
+        fs_type: str = "ext2",
+        testbed: Optional[TestbedConfig] = None,
+        config: Optional[BenchmarkConfig] = None,
+        stack_factory: Optional[Callable[[str, TestbedConfig, int, float], StorageStack]] = None,
+    ) -> None:
+        self.fs_type = fs_type
+        self.testbed = testbed if testbed is not None else paper_testbed()
+        self.config = config if config is not None else BenchmarkConfig()
+        self.config.validate()
+        self.testbed.validate()
+        self._stack_factory = stack_factory or self._default_stack_factory
+
+    @staticmethod
+    def _default_stack_factory(
+        fs_type: str, testbed: TestbedConfig, seed: int, cpu_speed_factor: float
+    ) -> StorageStack:
+        return build_stack(
+            fs_type=fs_type, testbed=testbed, seed=seed, cpu_speed_factor=cpu_speed_factor
+        )
+
+    # ----------------------------------------------------------- public API
+    def run(self, spec: WorkloadSpec, label: Optional[str] = None) -> RepetitionSet:
+        """Run all repetitions of ``spec``; returns the populated repetition set."""
+        repetitions = RepetitionSet(label=label or f"{spec.name}@{self.fs_type}")
+        for repetition in range(self.config.repetitions):
+            repetitions.add(self.run_once(spec, repetition))
+        return repetitions
+
+    def run_once(self, spec: WorkloadSpec, repetition: int = 0) -> RunResult:
+        """Run a single repetition of ``spec`` and return its :class:`RunResult`."""
+        config = self.config
+        seed = config.seed + repetition
+        noise_rng = random.Random(seed * 7919 + 13)
+
+        testbed, cpu_factor, effective_cache = self._perturbed_environment(noise_rng)
+        stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
+
+        engine = WorkloadEngine(stack, spec, seed=seed)
+        engine.setup()
+        if config.cold_cache:
+            stack.drop_caches()
+
+        warmup_start_ns = stack.clock.now_ns
+        self._warm_up(stack, engine, spec)
+        warmup_duration_s = (stack.clock.now_ns - warmup_start_ns) / 1e9
+
+        origin_ns = stack.clock.now_ns
+        recorder = _Recorder(config, origin_ns)
+        engine.on_op = recorder
+        stack.reset_statistics()
+
+        duration = config.duration_s if config.duration_s > 0 else None
+        engine.run(duration_s=duration, max_ops=config.max_ops)
+        engine.on_op = None
+
+        measured_duration_s = (stack.clock.now_ns - origin_ns) / 1e9
+        throughput = recorder.operations / measured_duration_s if measured_duration_s > 0 else 0.0
+
+        # The last operation may spill past the nominal duration into a
+        # mostly-empty extra interval; keep only complete intervals.
+        complete_intervals = int(measured_duration_s / config.interval_s)
+        if complete_intervals >= 1:
+            recorder.timeline.truncate(complete_intervals)
+        if recorder.histogram_timeline is not None and config.histogram_interval_s:
+            complete_histograms = int(measured_duration_s / config.histogram_interval_s)
+            if complete_histograms >= 1:
+                recorder.histogram_timeline.truncate(complete_histograms)
+
+        return RunResult(
+            workload_name=spec.name,
+            fs_name=stack.fs_name,
+            repetition=repetition,
+            seed=seed,
+            measured_duration_s=measured_duration_s,
+            warmup_duration_s=warmup_duration_s,
+            operations=recorder.operations,
+            throughput_ops_s=throughput,
+            histogram=recorder.histogram,
+            timeline=recorder.timeline,
+            histogram_timeline=recorder.histogram_timeline,
+            raw_latencies_ns=recorder.raw,
+            cache_hit_ratio=stack.cache.stats.hit_ratio,
+            device_reads=stack.device.stats.read_requests,
+            device_writes=stack.device.stats.write_requests,
+            bytes_read=stack.vfs.stats.bytes_read,
+            bytes_written=stack.vfs.stats.bytes_written,
+            environment={
+                "page_cache_bytes": float(effective_cache),
+                "cpu_speed_factor": cpu_factor,
+            },
+        )
+
+    # ------------------------------------------------------------- internals
+    def _perturbed_environment(self, rng: random.Random):
+        """Apply environmental noise to the testbed for one repetition."""
+        noise = self.config.noise
+        testbed = self.testbed
+        cpu_factor = 1.0
+        if noise.enabled and noise.cpu_noise_sigma > 0:
+            cpu_factor = rng.lognormvariate(0.0, noise.cpu_noise_sigma)
+        if noise.enabled and noise.cache_noise_bytes > 0:
+            delta = rng.randint(-noise.cache_noise_bytes, noise.cache_noise_bytes)
+            reserved = min(
+                max(0, testbed.os_reserved_bytes + delta), testbed.ram_bytes - testbed.page_size
+            )
+            testbed = replace(testbed, os_reserved_bytes=reserved)
+        return testbed, cpu_factor, testbed.page_cache_bytes
+
+    def _warm_up(self, stack: StorageStack, engine: WorkloadEngine, spec: WorkloadSpec) -> None:
+        """Condition the cache according to the configured warm-up mode."""
+        config = self.config
+        mode = config.warmup_mode
+        if mode is WarmupMode.NONE:
+            return
+        if mode is WarmupMode.PREWARM:
+            self._prewarm_sequential(stack, engine)
+            return
+        if mode is WarmupMode.DURATION:
+            engine.run(duration_s=config.warmup_s)
+            return
+        # STEADY_STATE: run in interval-sized chunks until stable.
+        detector = SteadyStateDetector()
+        elapsed = 0.0
+        chunk = max(config.interval_s, 1.0)
+        while elapsed < config.max_warmup_s:
+            start_ns = stack.clock.now_ns
+            ops_before = engine.ops_executed
+            engine.run(duration_s=chunk)
+            interval_s = (stack.clock.now_ns - start_ns) / 1e9
+            ops = engine.ops_executed - ops_before
+            elapsed += interval_s
+            if detector.observe(ops / interval_s if interval_s > 0 else 0.0):
+                return
+
+    def _prewarm_sequential(self, stack: StorageStack, engine: WorkloadEngine) -> None:
+        """Sequentially read the fileset into the cache, outside measured time.
+
+        Reads stop once the page cache is full -- warming more than fits
+        would only churn the cache.  Afterwards the virtual clock keeps its
+        value (warm-up time is reported separately) but device backlog is
+        drained so measurement does not start with a busy device.
+        """
+        vfs = stack.vfs
+        fileset = engine.fileset
+        if fileset is None:
+            return
+        capacity_pages = stack.cache.capacity_pages
+        chunk = 1024 * 1024
+        for index in range(len(fileset)):
+            if len(stack.cache) >= capacity_pages:
+                break
+            size = fileset.size_of(index)
+            if size <= 0:
+                continue
+            fd = vfs.open_uncharged(fileset.path_of(index))
+            offset = 0
+            while offset < size and len(stack.cache) < capacity_pages:
+                vfs.read(fd, min(chunk, size - offset), offset=offset)
+                offset += chunk
+            vfs.close_uncharged(fd)
+        # Drain outstanding asynchronous device work before measuring.
+        backlog = vfs._device_busy_until_ns - stack.clock.now_ns
+        if backlog > 0:
+            stack.clock.advance(backlog)

@@ -1,0 +1,173 @@
+"""Self-scaling parameter sweeps (Chen & Patterson, SIGMETRICS 1993).
+
+The paper cites self-scaling benchmarks as the right tool for producing the
+"entire graph" rather than a point measurement: instead of the experimenter
+guessing interesting parameter values, the benchmark explores the parameter
+space itself and refines where the behaviour changes fastest.
+
+:class:`SelfScalingBenchmark` sweeps one numeric workload parameter (by
+default the file size of the random-read workload), measures throughput at a
+coarse grid, then recursively bisects the adjacent pair with the largest
+relative change until the transition is localised to a configurable
+resolution -- which is exactly how the "less than 6 MB" observation in
+Section 3.1 of the paper was obtained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.results import RepetitionSet, SweepResult
+from repro.core.runner import BenchmarkConfig, BenchmarkRunner
+from repro.storage.config import TestbedConfig
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class SelfScalingResult:
+    """Outcome of a self-scaling sweep."""
+
+    sweep: SweepResult
+    transition_low: Optional[float]
+    transition_high: Optional[float]
+    evaluations: int
+
+    @property
+    def transition_width(self) -> Optional[float]:
+        """Width of the localised transition region (None if no cliff found)."""
+        if self.transition_low is None or self.transition_high is None:
+            return None
+        return self.transition_high - self.transition_low
+
+    def describe(self, unit: str = "") -> str:
+        """Readable summary of the sweep outcome."""
+        if self.transition_low is None:
+            return (
+                f"No sharp transition found across {self.evaluations} evaluations; "
+                f"dynamic range {self.sweep.dynamic_range():.1f}x"
+            )
+        return (
+            f"Transition localised to [{self.transition_low:.0f}, {self.transition_high:.0f}] {unit} "
+            f"({self.transition_width:.0f} {unit} wide) after {self.evaluations} evaluations; "
+            f"dynamic range {self.sweep.dynamic_range():.1f}x"
+        )
+
+
+class SelfScalingBenchmark:
+    """Sweep a workload parameter and automatically localise the performance cliff.
+
+    Parameters
+    ----------
+    workload_for_parameter:
+        Callable mapping the swept parameter value to a workload spec.
+    fs_type, testbed, config:
+        Passed to the underlying :class:`BenchmarkRunner`.
+    parameter_name, unit:
+        Used for labelling the resulting :class:`SweepResult`.
+    drop_threshold:
+        Relative change between adjacent grid points considered "a cliff"
+        (0.5 means at least a 2x change).
+    """
+
+    def __init__(
+        self,
+        workload_for_parameter: Callable[[float], WorkloadSpec],
+        fs_type: str = "ext2",
+        testbed: Optional[TestbedConfig] = None,
+        config: Optional[BenchmarkConfig] = None,
+        parameter_name: str = "file_size",
+        unit: str = "bytes",
+        drop_threshold: float = 0.5,
+    ) -> None:
+        if not (0.0 < drop_threshold < 1.0):
+            raise ValueError("drop_threshold must be in (0, 1)")
+        self.workload_for_parameter = workload_for_parameter
+        self.fs_type = fs_type
+        self.testbed = testbed
+        self.config = config if config is not None else BenchmarkConfig(repetitions=3, duration_s=5.0)
+        self.parameter_name = parameter_name
+        self.unit = unit
+        self.drop_threshold = drop_threshold
+        self._cache: Dict[float, RepetitionSet] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------- measuring
+    def _measure(self, parameter: float) -> RepetitionSet:
+        parameter = float(parameter)
+        cached = self._cache.get(parameter)
+        if cached is not None:
+            return cached
+        runner = BenchmarkRunner(fs_type=self.fs_type, testbed=self.testbed, config=self.config)
+        spec = self.workload_for_parameter(parameter)
+        result = runner.run(spec, label=f"{self.parameter_name}={parameter:g}")
+        self._cache[parameter] = result
+        self.evaluations += 1
+        return result
+
+    def _mean_throughput(self, parameter: float) -> float:
+        return self._measure(parameter).throughput_summary().mean
+
+    @staticmethod
+    def _relative_change(a: float, b: float) -> float:
+        denom = max(abs(a), abs(b))
+        return abs(a - b) / denom if denom > 0 else 0.0
+
+    # ------------------------------------------------------------------ run
+    def run(
+        self,
+        low: float,
+        high: float,
+        coarse_points: int = 8,
+        resolution: Optional[float] = None,
+        max_refinements: int = 12,
+    ) -> SelfScalingResult:
+        """Sweep ``[low, high]`` coarsely, then refine the sharpest change.
+
+        ``resolution`` is the target width of the localised transition
+        (defaults to 1% of the swept range).
+        """
+        if high <= low:
+            raise ValueError("require low < high")
+        if coarse_points < 3:
+            raise ValueError("coarse_points must be at least 3")
+        resolution = resolution if resolution is not None else (high - low) / 100.0
+
+        step = (high - low) / (coarse_points - 1)
+        grid = [low + i * step for i in range(coarse_points)]
+        for parameter in grid:
+            self._measure(parameter)
+
+        # Find the adjacent pair with the largest relative change.
+        transition: Optional[Tuple[float, float]] = None
+        for _ in range(max_refinements):
+            ordered = sorted(self._cache)
+            worst_pair = None
+            worst_change = 0.0
+            for left, right in zip(ordered, ordered[1:]):
+                change = self._relative_change(
+                    self._mean_throughput(left), self._mean_throughput(right)
+                )
+                if change > worst_change:
+                    worst_change = change
+                    worst_pair = (left, right)
+            if worst_pair is None or worst_change < self.drop_threshold:
+                transition = None
+                break
+            transition = worst_pair
+            if worst_pair[1] - worst_pair[0] <= resolution:
+                break
+            midpoint = (worst_pair[0] + worst_pair[1]) / 2.0
+            self._measure(midpoint)
+
+        sweep = SweepResult(parameter_name=self.parameter_name, unit=self.unit)
+        for parameter in sorted(self._cache):
+            sweep.add(parameter, self._cache[parameter])
+
+        low_edge, high_edge = (transition if transition is not None else (None, None))
+        return SelfScalingResult(
+            sweep=sweep,
+            transition_low=low_edge,
+            transition_high=high_edge,
+            evaluations=self.evaluations,
+        )

@@ -1,0 +1,243 @@
+"""Time-series views of a benchmark run.
+
+The paper's Figure 2 (throughput sampled every 10 seconds) and Figure 4
+(latency histograms sampled over time) both argue that *when* you measure is
+as important as *what* you measure.  These classes collect those views while a
+workload runs:
+
+* :class:`IntervalSeries` -- operations, bytes and mean latency per fixed
+  interval of simulated time, giving the throughput-vs-time curve;
+* :class:`HistogramTimeline` -- a :class:`~repro.core.histogram.LatencyHistogram`
+  per interval, giving the histogram-vs-time surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.histogram import DEFAULT_BUCKETS, LatencyHistogram
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Aggregated activity within one interval of simulated time."""
+
+    interval_index: int
+    start_s: float
+    end_s: float
+    operations: int
+    bytes_moved: int
+    mean_latency_ns: float
+
+    @property
+    def throughput_ops_s(self) -> float:
+        """Operations per second within the interval."""
+        duration = self.end_s - self.start_s
+        return self.operations / duration if duration > 0 else 0.0
+
+    @property
+    def bandwidth_mb_s(self) -> float:
+        """Bandwidth within the interval in MiB/s."""
+        duration = self.end_s - self.start_s
+        return (self.bytes_moved / (1024 * 1024)) / duration if duration > 0 else 0.0
+
+
+class IntervalSeries:
+    """Accumulates per-interval operation counts (the Figure 2 machinery).
+
+    Parameters
+    ----------
+    interval_s:
+        Interval length in simulated seconds (the paper samples every 10 s).
+    origin_ns:
+        Timestamp of the start of interval 0.
+    """
+
+    def __init__(self, interval_s: float = 10.0, origin_ns: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self.interval_ns = float(interval_s) * 1e9
+        self.origin_ns = float(origin_ns)
+        self._ops: List[int] = []
+        self._bytes: List[int] = []
+        self._latency_sums: List[float] = []
+
+    def _bucket_for(self, end_time_ns: float) -> int:
+        index = int((end_time_ns - self.origin_ns) // self.interval_ns)
+        return max(0, index)
+
+    def _grow(self, index: int) -> None:
+        while len(self._ops) <= index:
+            self._ops.append(0)
+            self._bytes.append(0)
+            self._latency_sums.append(0.0)
+
+    def record(self, end_time_ns: float, latency_ns: float, bytes_moved: int = 0) -> None:
+        """Record one completed operation."""
+        index = self._bucket_for(end_time_ns)
+        self._grow(index)
+        self._ops[index] += 1
+        self._bytes[index] += bytes_moved
+        self._latency_sums[index] += latency_ns
+
+    # ---------------------------------------------------------------- views
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing has been recorded."""
+        return not self._ops
+
+    def samples(self) -> List[IntervalSample]:
+        """All intervals as :class:`IntervalSample` objects."""
+        result = []
+        for index, ops in enumerate(self._ops):
+            start_s = (self.origin_ns + index * self.interval_ns) / 1e9
+            result.append(
+                IntervalSample(
+                    interval_index=index,
+                    start_s=start_s,
+                    end_s=start_s + self.interval_s,
+                    operations=ops,
+                    bytes_moved=self._bytes[index],
+                    mean_latency_ns=self._latency_sums[index] / ops if ops else 0.0,
+                )
+            )
+        return result
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        """(interval-end time in s, ops/s) pairs -- the Figure 2 curve."""
+        return [(s.end_s, s.throughput_ops_s) for s in self.samples()]
+
+    def throughputs(self) -> List[float]:
+        """Just the per-interval throughput values."""
+        return [s.throughput_ops_s for s in self.samples()]
+
+    def total_operations(self) -> int:
+        """Total operations recorded across all intervals."""
+        return sum(self._ops)
+
+    def spread(self) -> float:
+        """Max/min throughput ratio across non-empty intervals.
+
+        The paper's Figure 2 point in one number: a spread of ~10 means the
+        measured "performance" differs by an order of magnitude depending on
+        when during the run you look.
+        """
+        values = [t for t in self.throughputs() if t > 0]
+        if len(values) < 2:
+            return 1.0
+        return max(values) / min(values)
+
+    def tail(self, intervals: int) -> List[float]:
+        """Throughputs of the last ``intervals`` intervals (steady-state view)."""
+        if intervals <= 0:
+            raise ValueError("intervals must be positive")
+        return self.throughputs()[-intervals:]
+
+    def truncate(self, max_intervals: int) -> int:
+        """Drop trailing intervals beyond ``max_intervals``.
+
+        Benchmark runs end when the virtual clock passes the configured
+        duration, so the final operation can spill a handful of samples into
+        one extra, mostly-empty interval; runners truncate to the number of
+        *complete* intervals so per-interval throughputs stay comparable.
+        Returns the number of intervals dropped.
+        """
+        if max_intervals <= 0:
+            raise ValueError("max_intervals must be positive")
+        dropped = max(0, len(self._ops) - max_intervals)
+        if dropped:
+            del self._ops[max_intervals:]
+            del self._bytes[max_intervals:]
+            del self._latency_sums[max_intervals:]
+        return dropped
+
+
+class HistogramTimeline:
+    """A latency histogram per interval of simulated time (Figure 4).
+
+    Parameters
+    ----------
+    interval_s:
+        Interval length in simulated seconds (the paper uses 10 s snapshots).
+    buckets:
+        Number of log2 buckets per histogram.
+    """
+
+    def __init__(self, interval_s: float = 10.0, buckets: int = DEFAULT_BUCKETS, origin_ns: float = 0.0) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = float(interval_s)
+        self.interval_ns = float(interval_s) * 1e9
+        self.origin_ns = float(origin_ns)
+        self.buckets = buckets
+        self._histograms: List[LatencyHistogram] = []
+
+    def _grow(self, index: int) -> None:
+        while len(self._histograms) <= index:
+            self._histograms.append(LatencyHistogram(self.buckets))
+
+    def record(self, end_time_ns: float, latency_ns: float) -> None:
+        """Record one completed operation into its interval's histogram."""
+        index = max(0, int((end_time_ns - self.origin_ns) // self.interval_ns))
+        self._grow(index)
+        self._histograms[index].add(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def histogram_at(self, index: int) -> LatencyHistogram:
+        """Histogram of interval ``index``."""
+        return self._histograms[index]
+
+    def histograms(self) -> List[LatencyHistogram]:
+        """All per-interval histograms, oldest first."""
+        return list(self._histograms)
+
+    def interval_times_s(self) -> List[float]:
+        """End time (in s) of each interval."""
+        return [
+            (self.origin_ns + (index + 1) * self.interval_ns) / 1e9
+            for index in range(len(self._histograms))
+        ]
+
+    def surface(self) -> List[List[float]]:
+        """The Figure 4 surface: rows are intervals, columns are bucket percentages."""
+        return [histogram.percentages() for histogram in self._histograms]
+
+    def modes_over_time(self, min_fraction: float = 0.05) -> List[List[int]]:
+        """Peak bucket indices per interval (how the disk peak fades over time)."""
+        return [histogram.modes(min_fraction=min_fraction) for histogram in self._histograms]
+
+    def bimodal_fraction(self, min_fraction: float = 0.05) -> float:
+        """Fraction of (non-empty) intervals whose distribution is bi-modal.
+
+        The paper observes the distribution is bi-modal "during most of the
+        benchmark's run" for the 256 MB file; this is that statement as a
+        number.
+        """
+        non_empty = [h for h in self._histograms if not h.is_empty]
+        if not non_empty:
+            return 0.0
+        bimodal = sum(1 for h in non_empty if h.is_bimodal(min_fraction=min_fraction))
+        return bimodal / len(non_empty)
+
+    def truncate(self, max_intervals: int) -> int:
+        """Drop trailing intervals beyond ``max_intervals`` (see IntervalSeries.truncate)."""
+        if max_intervals <= 0:
+            raise ValueError("max_intervals must be positive")
+        dropped = max(0, len(self._histograms) - max_intervals)
+        if dropped:
+            del self._histograms[max_intervals:]
+        return dropped
+
+    def merged(self) -> LatencyHistogram:
+        """Histogram of the whole run (all intervals merged)."""
+        merged = LatencyHistogram(self.buckets)
+        for histogram in self._histograms:
+            merged = merged.merge(histogram)
+        return merged

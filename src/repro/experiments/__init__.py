@@ -1,0 +1,39 @@
+"""Experiment harnesses: one module per figure/table of the paper.
+
+Each harness builds the exact workload and measurement protocol of the
+corresponding experiment in Section 3 of the paper (or the survey behind
+Table 1), runs it on the simulated stack and returns a result object that can
+render itself as text and check the paper's qualitative claims against the
+measured data.  The ``benchmarks/`` directory exposes each harness through
+pytest-benchmark, and ``EXPERIMENTS.md`` records paper-vs-measured values.
+
+All harnesses accept ``paper_scale=True`` to run the original durations and
+repetition counts; the defaults are shortened so the full set regenerates in
+minutes.
+"""
+
+from repro.experiments.config import ExperimentScale, default_scale, paper_scale
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.figure3 import Figure3Result, run_figure3
+from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.zoom import TransitionZoomResult, run_transition_zoom
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "paper_scale",
+    "Figure1Result",
+    "run_figure1",
+    "Figure2Result",
+    "run_figure2",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "TransitionZoomResult",
+    "run_transition_zoom",
+    "Table1Result",
+    "run_table1",
+]

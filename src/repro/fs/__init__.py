@@ -1,0 +1,63 @@
+"""Simulated file systems.
+
+The case study in the paper runs against Linux Ext2, Ext3 and XFS.  This
+subpackage provides behavioural models of those file systems sufficient to
+reproduce the case study and to support the wider nano-benchmark suite:
+
+* :mod:`repro.fs.base` -- inodes, extents, directories and the
+  :class:`~repro.fs.base.FileSystem` interface.
+* :mod:`repro.fs.allocation` -- bitmap (block-group) and extent allocators.
+* :mod:`repro.fs.journal` -- a write-ahead journal used by the Ext3 and XFS
+  models.
+* :mod:`repro.fs.ext2`, :mod:`repro.fs.ext3`, :mod:`repro.fs.xfs` -- the three
+  file systems of the case study.
+* :mod:`repro.fs.vfs` -- the VFS layer that glues path lookup, the page
+  cache, readahead, the file system and the block device together and charges
+  every operation's latency to the virtual clock.
+* :mod:`repro.fs.stack` -- one-call construction of a complete simulated
+  storage stack.
+"""
+
+from repro.fs.base import (
+    DirectoryEntry,
+    Extent,
+    FileSystem,
+    FileSystemStats,
+    Inode,
+    InodeType,
+    FsError,
+    NoSpaceError,
+    NotFoundError,
+    ExistsError,
+    NotADirectoryError_,
+    IsADirectoryError_,
+)
+from repro.fs.ext2 import Ext2FileSystem
+from repro.fs.ext3 import Ext3FileSystem, JournalMode
+from repro.fs.xfs import XfsFileSystem
+from repro.fs.stack import StorageStack, build_stack, FS_REGISTRY
+from repro.fs.vfs import VFS, OpenFile
+
+__all__ = [
+    "DirectoryEntry",
+    "Extent",
+    "FileSystem",
+    "FileSystemStats",
+    "Inode",
+    "InodeType",
+    "FsError",
+    "NoSpaceError",
+    "NotFoundError",
+    "ExistsError",
+    "NotADirectoryError_",
+    "IsADirectoryError_",
+    "Ext2FileSystem",
+    "Ext3FileSystem",
+    "JournalMode",
+    "XfsFileSystem",
+    "StorageStack",
+    "build_stack",
+    "FS_REGISTRY",
+    "VFS",
+    "OpenFile",
+]

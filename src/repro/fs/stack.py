@@ -1,0 +1,142 @@
+"""One-call construction of a complete simulated storage stack.
+
+A :class:`StorageStack` bundles the virtual clock, the block device, the page
+cache, a mounted file system and the VFS.  Benchmarks, examples and the
+experiment harnesses all build their stacks through :func:`build_stack` so
+that the testbed description (see :mod:`repro.storage.config`) is the single
+source of truth for the simulated machine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.fs.base import FileSystem
+from repro.fs.ext2 import Ext2FileSystem
+from repro.fs.ext3 import Ext3FileSystem
+from repro.fs.vfs import VFS
+from repro.fs.xfs import XfsFileSystem
+from repro.storage.cache import PageCache
+from repro.storage.clock import VirtualClock
+from repro.storage.config import TestbedConfig, paper_testbed
+from repro.storage.device import BlockDevice
+from repro.storage.readahead import DEFAULT_READAHEAD, ReadaheadPolicy
+
+#: Registry of file system constructors by name.
+FS_REGISTRY: Dict[str, Callable[[int, int], FileSystem]] = {
+    "ext2": lambda capacity, block: Ext2FileSystem(capacity, block),
+    "ext3": lambda capacity, block: Ext3FileSystem(capacity, block),
+    "xfs": lambda capacity, block: XfsFileSystem(capacity, block),
+}
+
+
+@dataclass
+class StorageStack:
+    """A fully assembled simulated storage stack.
+
+    Attributes
+    ----------
+    testbed:
+        The machine description the stack was built from.
+    clock, device, cache, fs, vfs:
+        The live components.  ``vfs`` is the entry point workloads use.
+    seed:
+        Seed of the stack's random source (recorded for reproducibility).
+    """
+
+    testbed: TestbedConfig
+    clock: VirtualClock
+    device: BlockDevice
+    cache: PageCache
+    fs: FileSystem
+    vfs: VFS
+    seed: int
+
+    @property
+    def fs_name(self) -> str:
+        """Name of the mounted file system ("ext2", "ext3", "xfs")."""
+        return self.fs.name
+
+    def reset_statistics(self) -> None:
+        """Zero every statistics counter in the stack (cache contents are kept)."""
+        self.cache.stats.reset()
+        self.device.stats.reset()
+        self.device.model.stats.reset()
+        self.fs.stats.reset()
+        self.vfs.stats.reset()
+
+    def drop_caches(self) -> int:
+        """Flush dirty pages and drop the page cache (cold-cache state)."""
+        return self.vfs.drop_caches()
+
+    def describe(self) -> str:
+        """One-line description used in report headers."""
+        return f"{self.fs_name} on {self.testbed.describe()}"
+
+
+def build_stack(
+    fs_type: str = "ext2",
+    testbed: Optional[TestbedConfig] = None,
+    seed: int = 42,
+    readahead_policy: ReadaheadPolicy = DEFAULT_READAHEAD,
+    cpu_speed_factor: float = 1.0,
+    fs_factory: Optional[Callable[[int, int], FileSystem]] = None,
+) -> StorageStack:
+    """Build a simulated storage stack.
+
+    Parameters
+    ----------
+    fs_type:
+        One of ``"ext2"``, ``"ext3"``, ``"xfs"`` (ignored when ``fs_factory``
+        is given).
+    testbed:
+        Machine description; defaults to the paper's 512 MB testbed.
+    seed:
+        Seed for the stack's random source.  Two stacks built with the same
+        arguments and seed behave identically.
+    readahead_policy:
+        Sequential readahead policy for the VFS.
+    cpu_speed_factor:
+        Multiplier on CPU costs (the benchmark runner perturbs this per
+        repetition to model environmental noise).
+    fs_factory:
+        Optional custom constructor ``f(capacity_bytes, block_size)`` for
+        mounting a user-provided file system model.
+    """
+    config = testbed if testbed is not None else paper_testbed()
+    config.validate()
+
+    clock = VirtualClock()
+    rng = random.Random(seed)
+    device = config.build_block_device()
+    cache = config.build_page_cache()
+
+    if fs_factory is None:
+        try:
+            fs_factory = FS_REGISTRY[fs_type]
+        except KeyError:
+            known = ", ".join(sorted(FS_REGISTRY))
+            raise ValueError(f"unknown fs_type {fs_type!r} (known: {known})") from None
+    fs = fs_factory(device.capacity_bytes, config.page_size)
+
+    vfs = VFS(
+        fs=fs,
+        cache=cache,
+        device=device,
+        clock=clock,
+        cpu=config.cpu,
+        rng=rng,
+        readahead_policy=readahead_policy,
+        cpu_speed_factor=cpu_speed_factor,
+    )
+    return StorageStack(
+        testbed=config,
+        clock=clock,
+        device=device,
+        cache=cache,
+        fs=fs,
+        vfs=vfs,
+        seed=seed,
+    )

@@ -1,0 +1,517 @@
+"""Page cache with pluggable eviction policies.
+
+The page cache is the component responsible for the headline result of the
+paper's case study: whether a working set fits in it determines whether a
+"file system benchmark" is measuring memory or the disk.  The cache is
+page-granular; keys are ``(inode_number, page_index)`` tuples supplied by the
+VFS layer.
+
+Four eviction policies are provided:
+
+* :class:`LRUPolicy` -- strict least-recently-used (a good stand-in for the
+  paper-era Linux page cache behaviour under random reads).
+* :class:`ClockPolicy` -- second-chance / CLOCK, closer to what Linux actually
+  implements.
+* :class:`ARCPolicy` -- Adaptive Replacement Cache, scan-resistant.
+* :class:`TwoQPolicy` -- the 2Q algorithm (A1in/A1out/Am queues).
+
+The ablation benchmark ``benchmarks/test_bench_ablation_cache.py`` sweeps the
+Figure-1 experiment across these policies to show how much of the published
+"file system performance" is actually an artifact of the cache policy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+PageKey = Tuple[int, int]
+
+
+class CachePolicy(str, Enum):
+    """Names of the available eviction policies."""
+
+    LRU = "lru"
+    CLOCK = "clock"
+    ARC = "arc"
+    TWO_Q = "2q"
+    FIFO = "fifo"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and eviction counters for a cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups that hit; 0.0 when no lookups happened."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class EvictionPolicy(ABC):
+    """Bookkeeping interface used by :class:`PageCache`.
+
+    A policy tracks *which* resident page should be evicted next; the cache
+    itself tracks residency and dirtiness.
+    """
+
+    @abstractmethod
+    def on_hit(self, key: Hashable) -> None:
+        """Record an access to a resident page."""
+
+    @abstractmethod
+    def on_insert(self, key: Hashable) -> None:
+        """Record the insertion of a new resident page."""
+
+    @abstractmethod
+    def select_victim(self) -> Hashable:
+        """Evict and return the next victim.
+
+        The victim is removed from the policy's *resident* tracking; policies
+        with ghost lists (ARC, 2Q) may keep remembering the key there.
+        """
+
+    @abstractmethod
+    def discard(self, key: Hashable) -> None:
+        """Forget a page that was removed without eviction (invalidation)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Forget everything."""
+
+
+class LRUPolicy(EvictionPolicy):
+    """Strict least-recently-used ordering."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_hit(self, key: Hashable) -> None:
+        self._order.move_to_end(key)
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def select_victim(self) -> Hashable:
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def discard(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class FIFOPolicy(EvictionPolicy):
+    """First-in first-out: insertion order, accesses do not promote."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_hit(self, key: Hashable) -> None:
+        # FIFO ignores recency.
+        return
+
+    def on_insert(self, key: Hashable) -> None:
+        self._order[key] = None
+
+    def select_victim(self) -> Hashable:
+        key, _ = self._order.popitem(last=False)
+        return key
+
+    def discard(self, key: Hashable) -> None:
+        self._order.pop(key, None)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+
+class ClockPolicy(EvictionPolicy):
+    """Second-chance (CLOCK) approximation of LRU.
+
+    Pages are kept on a circular list with a reference bit; the clock hand
+    skips (and clears) referenced pages and evicts the first unreferenced one.
+    """
+
+    def __init__(self) -> None:
+        self._ref: Dict[Hashable, bool] = {}
+        self._ring: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_hit(self, key: Hashable) -> None:
+        if key in self._ref:
+            self._ref[key] = True
+
+    def on_insert(self, key: Hashable) -> None:
+        self._ref[key] = False
+        self._ring[key] = None
+
+    def select_victim(self) -> Hashable:
+        # Sweep the hand: give referenced pages a second chance by moving them
+        # to the back with the bit cleared.
+        while True:
+            key = next(iter(self._ring))
+            if self._ref.get(key, False):
+                self._ref[key] = False
+                self._ring.move_to_end(key)
+            else:
+                del self._ring[key]
+                self._ref.pop(key, None)
+                return key
+
+    def discard(self, key: Hashable) -> None:
+        self._ref.pop(key, None)
+        self._ring.pop(key, None)
+
+    def clear(self) -> None:
+        self._ref.clear()
+        self._ring.clear()
+
+
+class ARCPolicy(EvictionPolicy):
+    """Adaptive Replacement Cache (Megiddo & Modha).
+
+    Maintains two resident lists (T1: recently seen once, T2: seen at least
+    twice) and two ghost lists (B1, B2) of recently evicted keys.  The target
+    size of T1 (``p``) adapts based on which ghost list gets hit.
+    """
+
+    def __init__(self, capacity_hint: int = 1024) -> None:
+        if capacity_hint <= 0:
+            raise ValueError("capacity_hint must be positive")
+        self.capacity = capacity_hint
+        self.p = 0.0
+        self.t1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.t2: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.b1: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.b2: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    # -- helpers -------------------------------------------------------------
+    def _trim_ghosts(self) -> None:
+        while len(self.b1) > self.capacity:
+            self.b1.popitem(last=False)
+        while len(self.b2) > self.capacity:
+            self.b2.popitem(last=False)
+
+    def on_hit(self, key: Hashable) -> None:
+        if key in self.t1:
+            del self.t1[key]
+            self.t2[key] = None
+        elif key in self.t2:
+            self.t2.move_to_end(key)
+
+    def on_insert(self, key: Hashable) -> None:
+        if key in self.b1:
+            # A miss that hits the "recency" ghost list: grow T1's target.
+            delta = 1.0 if len(self.b1) >= len(self.b2) else len(self.b2) / max(1, len(self.b1))
+            self.p = min(float(self.capacity), self.p + delta)
+            del self.b1[key]
+            self.t2[key] = None
+        elif key in self.b2:
+            # A miss that hits the "frequency" ghost list: shrink T1's target.
+            delta = 1.0 if len(self.b2) >= len(self.b1) else len(self.b1) / max(1, len(self.b2))
+            self.p = max(0.0, self.p - delta)
+            del self.b2[key]
+            self.t2[key] = None
+        else:
+            self.t1[key] = None
+        self._trim_ghosts()
+
+    def select_victim(self) -> Hashable:
+        prefer_t1 = len(self.t1) > 0 and (len(self.t1) > self.p or len(self.t2) == 0)
+        if prefer_t1:
+            key = next(iter(self.t1))
+            del self.t1[key]
+            self.b1[key] = None
+        else:
+            key = next(iter(self.t2))
+            del self.t2[key]
+            self.b2[key] = None
+        self._trim_ghosts()
+        return key
+
+    def discard(self, key: Hashable) -> None:
+        self.t1.pop(key, None)
+        self.t2.pop(key, None)
+        self.b1.pop(key, None)
+        self.b2.pop(key, None)
+
+    def clear(self) -> None:
+        self.p = 0.0
+        self.t1.clear()
+        self.t2.clear()
+        self.b1.clear()
+        self.b2.clear()
+
+
+class TwoQPolicy(EvictionPolicy):
+    """The 2Q algorithm: a FIFO probation queue, a ghost queue and an LRU main queue."""
+
+    def __init__(self, capacity_hint: int = 1024, kin_fraction: float = 0.25, kout_fraction: float = 0.5) -> None:
+        if capacity_hint <= 0:
+            raise ValueError("capacity_hint must be positive")
+        if not (0.0 < kin_fraction < 1.0):
+            raise ValueError("kin_fraction must be in (0, 1)")
+        self.capacity = capacity_hint
+        self.kin = max(1, int(capacity_hint * kin_fraction))
+        self.kout = max(1, int(capacity_hint * kout_fraction))
+        self.a1in: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.a1out: "OrderedDict[Hashable, None]" = OrderedDict()
+        self.am: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    def on_hit(self, key: Hashable) -> None:
+        if key in self.am:
+            self.am.move_to_end(key)
+        # A hit in A1in does not promote: 2Q only promotes on re-reference
+        # after leaving A1in (tracked via the ghost queue at insert time).
+
+    def on_insert(self, key: Hashable) -> None:
+        if key in self.a1out:
+            del self.a1out[key]
+            self.am[key] = None
+        else:
+            self.a1in[key] = None
+
+    def select_victim(self) -> Hashable:
+        if len(self.a1in) > self.kin or not self.am:
+            key = next(iter(self.a1in))
+            del self.a1in[key]
+            self.a1out[key] = None
+            while len(self.a1out) > self.kout:
+                self.a1out.popitem(last=False)
+        else:
+            key = next(iter(self.am))
+            del self.am[key]
+        return key
+
+    def discard(self, key: Hashable) -> None:
+        self.a1in.pop(key, None)
+        self.a1out.pop(key, None)
+        self.am.pop(key, None)
+
+    def clear(self) -> None:
+        self.a1in.clear()
+        self.a1out.clear()
+        self.am.clear()
+
+
+def _make_policy(policy: CachePolicy, capacity_pages: int) -> EvictionPolicy:
+    if policy == CachePolicy.LRU:
+        return LRUPolicy()
+    if policy == CachePolicy.CLOCK:
+        return ClockPolicy()
+    if policy == CachePolicy.ARC:
+        return ARCPolicy(capacity_hint=capacity_pages)
+    if policy == CachePolicy.TWO_Q:
+        return TwoQPolicy(capacity_hint=capacity_pages)
+    if policy == CachePolicy.FIFO:
+        return FIFOPolicy()
+    raise ValueError(f"unknown cache policy: {policy!r}")
+
+
+class PageCache:
+    """A page-granular cache of file data with dirty-page tracking.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Number of pages the cache can hold.  ``0`` disables caching entirely
+        (every lookup misses), which is occasionally useful for isolating the
+        on-disk dimension.
+    policy:
+        Eviction policy name or :class:`CachePolicy` value.
+    page_size:
+        Page size in bytes (informational; the cache itself is page-indexed).
+    """
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        policy: CachePolicy = CachePolicy.LRU,
+        page_size: int = 4096,
+    ) -> None:
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        self.capacity_pages = int(capacity_pages)
+        self.page_size = int(page_size)
+        self.policy_name = CachePolicy(policy)
+        self._policy = _make_policy(self.policy_name, max(1, capacity_pages))
+        self._resident: Set[PageKey] = set()
+        self._dirty: Set[PageKey] = set()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._resident
+
+    @property
+    def dirty_pages(self) -> int:
+        """Number of dirty (modified, not yet written back) pages."""
+        return len(self._dirty)
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Cache capacity expressed in bytes."""
+        return self.capacity_pages * self.page_size
+
+    def resident_pages_of(self, inode_number: int) -> int:
+        """Count resident pages belonging to ``inode_number`` (O(n); diagnostic use)."""
+        return sum(1 for ino, _ in self._resident if ino == inode_number)
+
+    # --------------------------------------------------------------- actions
+    def lookup(self, key: PageKey) -> bool:
+        """Return True on a cache hit and record the access."""
+        if key in self._resident:
+            self.stats.hits += 1
+            self._policy.on_hit(key)
+            return True
+        self.stats.misses += 1
+        return False
+
+    def peek(self, key: PageKey) -> bool:
+        """Return residency without recording an access (no stats, no promotion)."""
+        return key in self._resident
+
+    def insert(self, key: PageKey, dirty: bool = False) -> List[Tuple[PageKey, bool]]:
+        """Insert a page, evicting as needed.
+
+        Returns the list of ``(key, was_dirty)`` pairs evicted to make room.
+        Dirty evictions must be written back by the caller (the VFS charges
+        device time for them).
+        """
+        if self.capacity_pages == 0:
+            return []
+        evicted: List[Tuple[PageKey, bool]] = []
+        if key in self._resident:
+            self._policy.on_hit(key)
+            if dirty:
+                self._dirty.add(key)
+            return evicted
+
+        while len(self._resident) >= self.capacity_pages:
+            victim = self._policy.select_victim()
+            # The policy must only return resident pages; a desync here is a bug.
+            self._resident.remove(victim)
+            was_dirty = victim in self._dirty
+            if was_dirty:
+                self._dirty.remove(victim)
+                self.stats.dirty_evictions += 1
+            self.stats.evictions += 1
+            evicted.append((victim, was_dirty))
+
+        self._resident.add(key)
+        if dirty:
+            self._dirty.add(key)
+        self._policy.on_insert(key)
+        self.stats.insertions += 1
+        return evicted
+
+    def mark_dirty(self, key: PageKey) -> None:
+        """Mark a resident page dirty (no-op if the page is not resident)."""
+        if key in self._resident:
+            self._dirty.add(key)
+
+    def clean(self, key: PageKey) -> None:
+        """Mark a page clean after it has been written back."""
+        self._dirty.discard(key)
+
+    def dirty_keys(self) -> List[PageKey]:
+        """Snapshot of the currently dirty page keys."""
+        return list(self._dirty)
+
+    def invalidate(self, key: PageKey) -> bool:
+        """Drop a single page; returns True if it was resident."""
+        if key not in self._resident:
+            return False
+        self._resident.remove(key)
+        self._dirty.discard(key)
+        self._policy.discard(key)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_inode(self, inode_number: int) -> int:
+        """Drop every page of one file; returns the number of pages dropped."""
+        victims = [key for key in self._resident if key[0] == inode_number]
+        for key in victims:
+            self._resident.remove(key)
+            self._dirty.discard(key)
+            self._policy.discard(key)
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def drop_caches(self) -> int:
+        """Drop all clean *and* dirty pages (like ``echo 3 > drop_caches`` plus sync loss).
+
+        Returns the number of pages dropped.  Benchmark runners call this
+        between repetitions to restore a cold cache.
+        """
+        dropped = len(self._resident)
+        self._resident.clear()
+        self._dirty.clear()
+        self._policy.clear()
+        return dropped
+
+    def resize(self, capacity_pages: int) -> List[Tuple[PageKey, bool]]:
+        """Change the capacity; shrinking evicts pages and returns them."""
+        if capacity_pages < 0:
+            raise ValueError("capacity_pages must be non-negative")
+        self.capacity_pages = int(capacity_pages)
+        evicted: List[Tuple[PageKey, bool]] = []
+        while len(self._resident) > self.capacity_pages:
+            victim = self._policy.select_victim()
+            self._resident.remove(victim)
+            was_dirty = victim in self._dirty
+            self._dirty.discard(victim)
+            self.stats.evictions += 1
+            if was_dirty:
+                self.stats.dirty_evictions += 1
+            evicted.append((victim, was_dirty))
+        return evicted
+
+    def __repr__(self) -> str:
+        mb = self.capacity_bytes / (1024 * 1024)
+        return (
+            f"PageCache({self.policy_name.value}, {mb:.0f}MiB, "
+            f"{len(self._resident)}/{self.capacity_pages} pages)"
+        )
+
+
+def make_cache(
+    capacity_bytes: int,
+    page_size: int = 4096,
+    policy: CachePolicy = CachePolicy.LRU,
+) -> PageCache:
+    """Convenience constructor taking a byte capacity instead of a page count."""
+    if capacity_bytes < 0:
+        raise ValueError("capacity_bytes must be non-negative")
+    return PageCache(capacity_bytes // page_size, policy=policy, page_size=page_size)

@@ -1,0 +1,252 @@
+"""Block layer: I/O requests, schedulers and the block device facade.
+
+The block device sits between the file systems and a :class:`DeviceModel`.
+It accepts single requests or batches, lets an I/O scheduler reorder batches
+(NOOP, elevator/C-SCAN, or deadline), and charges the resulting service time
+to the shared virtual clock via its return value.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.storage.disk import DeviceModel
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """A single block-level request.
+
+    Attributes
+    ----------
+    offset_bytes:
+        Byte offset on the device.
+    nbytes:
+        Request length in bytes.
+    is_write:
+        Write when true, read otherwise.
+    priority:
+        Smaller numbers are more urgent; only the deadline scheduler uses it
+        (e.g. journal commits over background writeback).
+    """
+
+    offset_bytes: int
+    nbytes: int
+    is_write: bool = False
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.offset_bytes < 0:
+            raise ValueError("offset_bytes must be non-negative")
+        if self.nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+
+    @property
+    def end_bytes(self) -> int:
+        """One past the last byte touched by the request."""
+        return self.offset_bytes + self.nbytes
+
+
+class IOScheduler(ABC):
+    """Reorders (and possibly merges) a batch of requests before dispatch."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def order(self, requests: Sequence[IORequest], head_offset: int) -> List[IORequest]:
+        """Return the dispatch order for ``requests``.
+
+        ``head_offset`` is the device's current head position in bytes, which
+        position-aware schedulers use as the sweep origin.
+        """
+
+    @staticmethod
+    def merge_adjacent(requests: Sequence[IORequest]) -> List[IORequest]:
+        """Merge physically adjacent same-direction requests into larger ones.
+
+        Merging only applies to requests that are exactly contiguous; it keeps
+        the scheduler honest about what a real block layer could coalesce.
+        """
+        if not requests:
+            return []
+        ordered = sorted(requests, key=lambda r: (r.is_write, r.offset_bytes))
+        merged: List[IORequest] = [ordered[0]]
+        for req in ordered[1:]:
+            last = merged[-1]
+            if req.is_write == last.is_write and req.offset_bytes == last.end_bytes:
+                merged[-1] = IORequest(
+                    offset_bytes=last.offset_bytes,
+                    nbytes=last.nbytes + req.nbytes,
+                    is_write=last.is_write,
+                    priority=min(last.priority, req.priority),
+                )
+            else:
+                merged.append(req)
+        return merged
+
+
+class NoopScheduler(IOScheduler):
+    """Dispatch in arrival order, merging adjacent requests only."""
+
+    name = "noop"
+
+    def order(self, requests: Sequence[IORequest], head_offset: int) -> List[IORequest]:
+        return list(requests)
+
+
+class ElevatorScheduler(IOScheduler):
+    """C-SCAN elevator: sweep upward from the head position, then wrap."""
+
+    name = "elevator"
+
+    def order(self, requests: Sequence[IORequest], head_offset: int) -> List[IORequest]:
+        ahead = sorted((r for r in requests if r.offset_bytes >= head_offset), key=lambda r: r.offset_bytes)
+        behind = sorted((r for r in requests if r.offset_bytes < head_offset), key=lambda r: r.offset_bytes)
+        return ahead + behind
+
+
+class DeadlineScheduler(IOScheduler):
+    """Priority buckets dispatched elevator-style within each bucket."""
+
+    name = "deadline"
+
+    def order(self, requests: Sequence[IORequest], head_offset: int) -> List[IORequest]:
+        result: List[IORequest] = []
+        for priority in sorted({r.priority for r in requests}):
+            bucket = [r for r in requests if r.priority == priority]
+            result.extend(ElevatorScheduler().order(bucket, head_offset))
+        return result
+
+
+def make_scheduler(name: str) -> IOScheduler:
+    """Instantiate a scheduler by name (``noop``, ``elevator`` or ``deadline``)."""
+    table = {
+        "noop": NoopScheduler,
+        "elevator": ElevatorScheduler,
+        "deadline": DeadlineScheduler,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise ValueError(f"unknown I/O scheduler: {name!r}") from None
+
+
+@dataclass
+class BlockDeviceStats:
+    """Aggregate counters for a block device."""
+
+    requests: int = 0
+    read_requests: int = 0
+    write_requests: int = 0
+    merged_requests: int = 0
+    batches: int = 0
+    total_service_ns: float = 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.requests = 0
+        self.read_requests = 0
+        self.write_requests = 0
+        self.merged_requests = 0
+        self.batches = 0
+        self.total_service_ns = 0.0
+
+
+class BlockDevice:
+    """Facade over a device model: scheduling, merging and accounting.
+
+    Parameters
+    ----------
+    model:
+        The underlying :class:`DeviceModel` producing service times.
+    scheduler:
+        The I/O scheduler used for batched submissions.
+    merge:
+        Whether adjacent requests in a batch may be coalesced.
+    """
+
+    def __init__(
+        self,
+        model: DeviceModel,
+        scheduler: Optional[IOScheduler] = None,
+        merge: bool = True,
+    ) -> None:
+        self.model = model
+        self.scheduler = scheduler if scheduler is not None else NoopScheduler()
+        self.merge = merge
+        self.stats = BlockDeviceStats()
+
+    # ------------------------------------------------------------ single ops
+    def read(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Synchronously read one extent; returns service time in ns."""
+        latency = self.model.read(offset_bytes, nbytes, rng)
+        self.stats.requests += 1
+        self.stats.read_requests += 1
+        self.stats.total_service_ns += latency
+        return latency
+
+    def write(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Synchronously write one extent; returns service time in ns."""
+        latency = self.model.write(offset_bytes, nbytes, rng)
+        self.stats.requests += 1
+        self.stats.write_requests += 1
+        self.stats.total_service_ns += latency
+        return latency
+
+    def flush(self, rng: random.Random) -> float:
+        """Issue a cache-flush/barrier if the model supports one."""
+        flush = getattr(self.model, "flush_latency_ns", None)
+        if flush is None:
+            return 0.0
+        latency = flush(rng)
+        self.stats.total_service_ns += latency
+        return latency
+
+    # --------------------------------------------------------------- batches
+    def submit(self, requests: Sequence[IORequest], rng: random.Random) -> float:
+        """Dispatch a batch through the scheduler; returns total service time in ns.
+
+        The batch is served back-to-back (queue depth 1 at the device), which
+        is the right model for the synchronous read paths exercised by the
+        paper's case study.  Parallel submitters are modelled at the workload
+        layer (see :mod:`repro.workloads.spec`).
+        """
+        if not requests:
+            return 0.0
+        batch: Sequence[IORequest] = requests
+        if self.merge:
+            before = len(batch)
+            batch = IOScheduler.merge_adjacent(batch)
+            self.stats.merged_requests += before - len(batch)
+        head = getattr(self.model, "_head_offset", 0)
+        ordered = self.scheduler.order(batch, head)
+
+        total = 0.0
+        for req in ordered:
+            if req.is_write:
+                total += self.model.write(req.offset_bytes, req.nbytes, rng)
+                self.stats.write_requests += 1
+            else:
+                total += self.model.read(req.offset_bytes, req.nbytes, rng)
+                self.stats.read_requests += 1
+            self.stats.requests += 1
+        self.stats.batches += 1
+        self.stats.total_service_ns += total
+        return total
+
+    # ------------------------------------------------------------------ misc
+    @property
+    def capacity_bytes(self) -> int:
+        """Capacity of the underlying device."""
+        return self.model.capacity_bytes
+
+    def reset_state(self) -> None:
+        """Reset device and block-layer statistics and dynamic device state."""
+        self.model.reset_state()
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return f"BlockDevice({self.model!r}, scheduler={self.scheduler.name})"

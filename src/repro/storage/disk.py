@@ -1,0 +1,399 @@
+"""Device models: mechanical disk, SSD and RAM disk.
+
+A device model answers one question: *how long does this block request take*?
+Latency is returned in nanoseconds of simulated time and is composed from the
+mechanical (or flash) characteristics of the device:
+
+* :class:`MechanicalDisk` -- seek curve, rotational latency, zoned transfer
+  rate and an on-board track (segment) cache.  The default geometry is
+  modelled on the paper's testbed drive, a Maxtor 7L250S0 (250 GB, 7200 RPM
+  SATA).
+* :class:`SolidStateDisk` -- flat read latency, higher write latency, channel
+  parallelism for large transfers.
+* :class:`RamDisk` -- transfer-rate-only device, useful for isolating the
+  software stack in nano-benchmarks ("I/O dimension" with the device removed).
+
+Device models are deliberately stateful (head position, track-cache contents)
+because that statefulness is exactly what makes disk benchmarks fragile.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from abc import ABC, abstractmethod
+
+from repro.storage.clock import NS_PER_MS, NS_PER_SEC
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Physical description of a mechanical disk.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Usable capacity of the device.
+    rpm:
+        Spindle speed; rotational latency is uniform in ``[0, 60/rpm)``.
+    avg_seek_ms:
+        Manufacturer-style average seek time.
+    track_to_track_seek_ms:
+        Minimum (adjacent-track) seek time.
+    full_stroke_seek_ms:
+        Maximum (full-stroke) seek time.
+    max_transfer_mb_s:
+        Sustained media transfer rate at the outer zone.
+    min_transfer_mb_s:
+        Sustained media transfer rate at the inner zone.
+    track_cache_bytes:
+        Size of the on-board segment cache used for read lookahead.
+    sector_bytes:
+        Sector size (512 for the paper-era drive).
+    """
+
+    capacity_bytes: int = 250 * 10 ** 9
+    rpm: int = 7200
+    avg_seek_ms: float = 9.0
+    track_to_track_seek_ms: float = 0.8
+    full_stroke_seek_ms: float = 17.0
+    max_transfer_mb_s: float = 65.0
+    min_transfer_mb_s: float = 35.0
+    track_cache_bytes: int = 8 * 1024 * 1024
+    sector_bytes: int = 512
+
+    def rotation_time_ns(self) -> float:
+        """Time for one full platter rotation, in nanoseconds."""
+        return 60.0 / self.rpm * NS_PER_SEC
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the geometry is internally inconsistent."""
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if self.rpm <= 0:
+            raise ValueError("rpm must be positive")
+        if not (0 < self.track_to_track_seek_ms <= self.avg_seek_ms <= self.full_stroke_seek_ms):
+            raise ValueError(
+                "expected track_to_track <= avg <= full_stroke seek times, got "
+                f"{self.track_to_track_seek_ms}, {self.avg_seek_ms}, {self.full_stroke_seek_ms}"
+            )
+        if self.min_transfer_mb_s <= 0 or self.max_transfer_mb_s < self.min_transfer_mb_s:
+            raise ValueError("transfer rates must satisfy 0 < min <= max")
+        if self.sector_bytes <= 0:
+            raise ValueError("sector_bytes must be positive")
+
+
+#: Geometry of the paper's testbed drive (Maxtor 7L250S0-class SATA disk).
+MAXTOR_7L250S0 = DiskGeometry(
+    capacity_bytes=250 * 10 ** 9,
+    rpm=7200,
+    avg_seek_ms=9.0,
+    track_to_track_seek_ms=0.8,
+    full_stroke_seek_ms=17.0,
+    max_transfer_mb_s=65.0,
+    min_transfer_mb_s=37.0,
+    track_cache_bytes=8 * 1024 * 1024,
+)
+
+
+@dataclass
+class DeviceStats:
+    """Operation counters kept by every device model."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time_ns: float = 0.0
+    seeks: int = 0
+    track_cache_hits: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time_ns = 0.0
+        self.seeks = 0
+        self.track_cache_hits = 0
+
+    def total_ops(self) -> int:
+        """Total number of read and write operations."""
+        return self.reads + self.writes
+
+
+class DeviceModel(ABC):
+    """Interface shared by all device models."""
+
+    def __init__(self, capacity_bytes: int, sector_bytes: int = 512) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if sector_bytes <= 0:
+            raise ValueError("sector_bytes must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.sector_bytes = int(sector_bytes)
+        self.stats = DeviceStats()
+
+    # -- abstract service-time hooks ----------------------------------------
+    @abstractmethod
+    def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Service time for reading ``nbytes`` starting at ``offset_bytes``."""
+
+    @abstractmethod
+    def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Service time for writing ``nbytes`` starting at ``offset_bytes``."""
+
+    # -- public entry points --------------------------------------------------
+    def read(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Account a read and return its service time in nanoseconds."""
+        self._check_extent(offset_bytes, nbytes)
+        latency = self.read_latency_ns(offset_bytes, nbytes, rng)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.busy_time_ns += latency
+        return latency
+
+    def write(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Account a write and return its service time in nanoseconds."""
+        self._check_extent(offset_bytes, nbytes)
+        latency = self.write_latency_ns(offset_bytes, nbytes, rng)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.stats.busy_time_ns += latency
+        return latency
+
+    def _check_extent(self, offset_bytes: int, nbytes: int) -> None:
+        if offset_bytes < 0 or nbytes <= 0:
+            raise ValueError("offset must be >= 0 and nbytes > 0")
+        if offset_bytes + nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"request [{offset_bytes}, {offset_bytes + nbytes}) exceeds device "
+                f"capacity {self.capacity_bytes}"
+            )
+
+    def reset_state(self) -> None:
+        """Reset dynamic state (head position, caches) and statistics."""
+        self.stats.reset()
+
+
+class MechanicalDisk(DeviceModel):
+    """A seek/rotate/transfer model of a single-actuator mechanical disk.
+
+    The model keeps the current head position (as a byte offset, standing in
+    for the cylinder) and a small read lookahead ("track") cache.  Service
+    time for a read is::
+
+        seek(distance) + rotational_delay + transfer(nbytes, zone)
+
+    unless the request is satisfied from the track cache, in which case only
+    an electronics/transfer cost is charged.  Writes optionally complete into
+    a write-back cache at a reduced cost.
+
+    Parameters
+    ----------
+    geometry:
+        Physical parameters of the drive.
+    write_cache_enabled:
+        If true (the default, matching consumer SATA drives), writes are
+        acknowledged once they are in the drive's volatile cache.
+    """
+
+    #: Fraction of a full rotation charged as settle/electronics overhead.
+    _OVERHEAD_NS = 200_000.0  # 0.2 ms controller + command overhead
+
+    def __init__(
+        self,
+        geometry: DiskGeometry = MAXTOR_7L250S0,
+        write_cache_enabled: bool = True,
+    ) -> None:
+        geometry.validate()
+        super().__init__(geometry.capacity_bytes, geometry.sector_bytes)
+        self.geometry = geometry
+        self.write_cache_enabled = write_cache_enabled
+        self._head_offset = 0
+        # Track cache: remembers the byte range read ahead by the drive.
+        self._cache_start = -1
+        self._cache_end = -1
+
+    # ------------------------------------------------------------- mechanics
+    def _seek_time_ns(self, from_offset: int, to_offset: int) -> float:
+        """Seek time as a function of seek distance.
+
+        Uses the standard square-root seek curve: short seeks are dominated by
+        head settling, long seeks by coast time.
+        """
+        distance = abs(to_offset - from_offset)
+        if distance == 0:
+            return 0.0
+        frac = min(1.0, distance / self.capacity_bytes)
+        t2t = self.geometry.track_to_track_seek_ms
+        full = self.geometry.full_stroke_seek_ms
+        seek_ms = t2t + (full - t2t) * math.sqrt(frac)
+        return seek_ms * NS_PER_MS
+
+    def _transfer_rate_bytes_per_ns(self, offset_bytes: int) -> float:
+        """Zoned transfer rate: outer tracks (low offsets) are faster."""
+        frac = min(1.0, max(0.0, offset_bytes / self.capacity_bytes))
+        rate_mb_s = (
+            self.geometry.max_transfer_mb_s
+            - (self.geometry.max_transfer_mb_s - self.geometry.min_transfer_mb_s) * frac
+        )
+        return rate_mb_s * 1024 * 1024 / NS_PER_SEC
+
+    def _transfer_time_ns(self, offset_bytes: int, nbytes: int) -> float:
+        return nbytes / self._transfer_rate_bytes_per_ns(offset_bytes)
+
+    def _in_track_cache(self, offset_bytes: int, nbytes: int) -> bool:
+        return self._cache_start <= offset_bytes and offset_bytes + nbytes <= self._cache_end
+
+    def _refill_track_cache(self, offset_bytes: int, nbytes: int) -> None:
+        # The drive reads ahead from the end of the request up to the size of
+        # its segment cache; a subsequent sequential read hits this cache.
+        self._cache_start = offset_bytes
+        self._cache_end = min(
+            self.capacity_bytes, offset_bytes + max(nbytes, self.geometry.track_cache_bytes)
+        )
+
+    # --------------------------------------------------------------- service
+    def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        if self._in_track_cache(offset_bytes, nbytes):
+            # Served from the drive's segment buffer: interface transfer only.
+            self.stats.track_cache_hits += 1
+            latency = self._OVERHEAD_NS / 2.0 + self._transfer_time_ns(offset_bytes, nbytes) / 2.0
+            self._head_offset = offset_bytes + nbytes
+            return latency
+
+        seek = self._seek_time_ns(self._head_offset, offset_bytes)
+        if seek > 0:
+            self.stats.seeks += 1
+        rotation = rng.uniform(0.0, self.geometry.rotation_time_ns())
+        transfer = self._transfer_time_ns(offset_bytes, nbytes)
+        self._head_offset = offset_bytes + nbytes
+        self._refill_track_cache(offset_bytes, nbytes)
+        return self._OVERHEAD_NS + seek + rotation + transfer
+
+    def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        if self.write_cache_enabled:
+            # Acknowledge from the drive cache; charge interface transfer plus
+            # a small probability of having to destage synchronously.
+            latency = self._OVERHEAD_NS + self._transfer_time_ns(offset_bytes, nbytes) / 2.0
+            if rng.random() < 0.02:
+                latency += self._seek_time_ns(self._head_offset, offset_bytes)
+                latency += rng.uniform(0.0, self.geometry.rotation_time_ns())
+                self._head_offset = offset_bytes + nbytes
+            return latency
+
+        seek = self._seek_time_ns(self._head_offset, offset_bytes)
+        if seek > 0:
+            self.stats.seeks += 1
+        rotation = rng.uniform(0.0, self.geometry.rotation_time_ns())
+        transfer = self._transfer_time_ns(offset_bytes, nbytes)
+        self._head_offset = offset_bytes + nbytes
+        return self._OVERHEAD_NS + seek + rotation + transfer
+
+    def flush_latency_ns(self, rng: random.Random) -> float:
+        """Cost of a cache-flush / barrier command (used by journaling FS)."""
+        if not self.write_cache_enabled:
+            return self._OVERHEAD_NS
+        # Destage whatever is pending: approximate with one rotation + a short seek.
+        return (
+            self._OVERHEAD_NS
+            + self.geometry.track_to_track_seek_ms * NS_PER_MS
+            + rng.uniform(0.0, self.geometry.rotation_time_ns())
+        )
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        self._head_offset = 0
+        self._cache_start = -1
+        self._cache_end = -1
+
+    def __repr__(self) -> str:
+        gb = self.capacity_bytes / 10 ** 9
+        return f"MechanicalDisk({gb:.0f}GB, {self.geometry.rpm}rpm)"
+
+
+class SolidStateDisk(DeviceModel):
+    """A simple NAND SSD model.
+
+    Reads have a flat latency; writes are slower and occasionally incur a
+    garbage-collection pause.  Large transfers are spread over ``channels``
+    independent flash channels.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 256 * 10 ** 9,
+        read_latency_us: float = 80.0,
+        write_latency_us: float = 220.0,
+        page_bytes: int = 4096,
+        channels: int = 8,
+        channel_mb_s: float = 180.0,
+        gc_probability: float = 0.002,
+        gc_pause_ms: float = 4.0,
+    ) -> None:
+        super().__init__(capacity_bytes, sector_bytes=page_bytes)
+        if channels <= 0:
+            raise ValueError("channels must be positive")
+        if not (0.0 <= gc_probability <= 1.0):
+            raise ValueError("gc_probability must be in [0, 1]")
+        self.read_latency_ns_base = read_latency_us * 1_000.0
+        self.write_latency_ns_base = write_latency_us * 1_000.0
+        self.page_bytes = page_bytes
+        self.channels = channels
+        self.channel_bytes_per_ns = channel_mb_s * 1024 * 1024 / NS_PER_SEC
+        self.gc_probability = gc_probability
+        self.gc_pause_ns = gc_pause_ms * NS_PER_MS
+
+    def _transfer_ns(self, nbytes: int) -> float:
+        pages = max(1, math.ceil(nbytes / self.page_bytes))
+        parallel_waves = math.ceil(pages / self.channels)
+        per_page_transfer = self.page_bytes / self.channel_bytes_per_ns
+        return parallel_waves * per_page_transfer
+
+    def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        jitter = rng.uniform(0.9, 1.15)
+        return self.read_latency_ns_base * jitter + self._transfer_ns(nbytes)
+
+    def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        jitter = rng.uniform(0.9, 1.3)
+        latency = self.write_latency_ns_base * jitter + self._transfer_ns(nbytes)
+        if rng.random() < self.gc_probability:
+            latency += self.gc_pause_ns
+        return latency
+
+    def __repr__(self) -> str:
+        gb = self.capacity_bytes / 10 ** 9
+        return f"SolidStateDisk({gb:.0f}GB, {self.channels}ch)"
+
+
+class RamDisk(DeviceModel):
+    """A device limited only by memory bandwidth.
+
+    Useful for nano-benchmarks that want to isolate the software stack (file
+    system CPU path, cache management) from any device behaviour.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = 4 * 10 ** 9,
+        bandwidth_gb_s: float = 6.0,
+        fixed_overhead_ns: float = 300.0,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if bandwidth_gb_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bytes_per_ns = bandwidth_gb_s * 10 ** 9 / NS_PER_SEC
+        self.fixed_overhead_ns = fixed_overhead_ns
+
+    def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        return self.fixed_overhead_ns + nbytes / self.bytes_per_ns
+
+    def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        return self.fixed_overhead_ns + nbytes / self.bytes_per_ns
+
+    def __repr__(self) -> str:
+        gb = self.capacity_bytes / 10 ** 9
+        return f"RamDisk({gb:.0f}GB)"

@@ -1,0 +1,170 @@
+"""Latency and noise models.
+
+The device and cache models compose their service times from small, reusable
+latency distributions.  Each distribution draws from a caller-supplied
+``random.Random`` so that whole benchmark runs are reproducible from a single
+seed (a prerequisite for the statistical analyses in :mod:`repro.core.stats`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+
+
+class LatencyModel(ABC):
+    """A distribution over non-negative latencies, in nanoseconds."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float:
+        """Draw one latency sample (ns)."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected latency (ns)."""
+
+    def __call__(self, rng: random.Random) -> float:
+        return self.sample(rng)
+
+
+class ConstantLatency(LatencyModel):
+    """A fixed latency with no variance."""
+
+    __slots__ = ("value_ns",)
+
+    def __init__(self, value_ns: float) -> None:
+        if value_ns < 0:
+            raise ValueError("latency must be non-negative")
+        self.value_ns = float(value_ns)
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value_ns
+
+    def mean(self) -> float:
+        return self.value_ns
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.value_ns:.0f}ns)"
+
+
+class UniformLatency(LatencyModel):
+    """Uniformly distributed latency over ``[low_ns, high_ns]``.
+
+    Used, for instance, for rotational delay: the head arrives at a uniformly
+    random angular position relative to the target sector.
+    """
+
+    __slots__ = ("low_ns", "high_ns")
+
+    def __init__(self, low_ns: float, high_ns: float) -> None:
+        if low_ns < 0 or high_ns < low_ns:
+            raise ValueError("require 0 <= low_ns <= high_ns")
+        self.low_ns = float(low_ns)
+        self.high_ns = float(high_ns)
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low_ns, self.high_ns)
+
+    def mean(self) -> float:
+        return (self.low_ns + self.high_ns) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformLatency([{self.low_ns:.0f}, {self.high_ns:.0f}]ns)"
+
+
+class NormalLatency(LatencyModel):
+    """Normally distributed latency, truncated at a non-negative floor."""
+
+    __slots__ = ("mean_ns", "stddev_ns", "floor_ns")
+
+    def __init__(self, mean_ns: float, stddev_ns: float, floor_ns: float = 0.0) -> None:
+        if mean_ns < 0 or stddev_ns < 0 or floor_ns < 0:
+            raise ValueError("parameters must be non-negative")
+        self.mean_ns = float(mean_ns)
+        self.stddev_ns = float(stddev_ns)
+        self.floor_ns = float(floor_ns)
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.gauss(self.mean_ns, self.stddev_ns)
+        return value if value > self.floor_ns else self.floor_ns
+
+    def mean(self) -> float:
+        return self.mean_ns
+
+    def __repr__(self) -> str:
+        return f"NormalLatency(mean={self.mean_ns:.0f}ns, sd={self.stddev_ns:.0f}ns)"
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normally distributed latency.
+
+    Log-normal is the conventional model for software-path latencies (system
+    call overhead, page-cache copy costs): most samples cluster near the mode
+    with a long right tail from scheduling and cache effects.
+
+    Parameters are given as the desired *median* and a multiplicative spread
+    ``sigma`` (the standard deviation of the underlying normal in log space).
+    """
+
+    __slots__ = ("median_ns", "sigma", "_mu")
+
+    def __init__(self, median_ns: float, sigma: float = 0.25) -> None:
+        if median_ns <= 0:
+            raise ValueError("median_ns must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median_ns = float(median_ns)
+        self.sigma = float(sigma)
+        self._mu = math.log(median_ns)
+
+    def sample(self, rng: random.Random) -> float:
+        if self.sigma == 0.0:
+            return self.median_ns
+        return rng.lognormvariate(self._mu, self.sigma)
+
+    def mean(self) -> float:
+        return self.median_ns * math.exp(self.sigma ** 2 / 2.0)
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(median={self.median_ns:.0f}ns, sigma={self.sigma})"
+
+
+class MixtureLatency(LatencyModel):
+    """A weighted mixture of latency models.
+
+    Useful for injecting rare slow events (e.g. a device firmware hiccup or a
+    recalibration) into an otherwise well-behaved distribution, which is one
+    of the sources of benchmark fragility discussed in the paper.
+    """
+
+    __slots__ = ("components", "weights", "_cumulative")
+
+    def __init__(self, components: list, weights: list) -> None:
+        if len(components) != len(weights) or not components:
+            raise ValueError("components and weights must be equal-length, non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.components = list(components)
+        self.weights = [w / total for w in weights]
+        self._cumulative = []
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            self._cumulative.append(acc)
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        for cum, comp in zip(self._cumulative, self.components):
+            if u <= cum:
+                return comp.sample(rng)
+        return self.components[-1].sample(rng)
+
+    def mean(self) -> float:
+        return sum(w * c.mean() for w, c in zip(self.weights, self.components))
+
+    def __repr__(self) -> str:
+        return f"MixtureLatency({len(self.components)} components)"

@@ -1,0 +1,98 @@
+"""Workload model and generators.
+
+The paper's survey (Table 1) shows that most published evaluations either use
+ad-hoc workload generators or macro-benchmarks whose dimension coverage is
+unclear.  This subpackage provides:
+
+* a small workload-description language (:mod:`repro.workloads.spec`) in the
+  spirit of Filebench's flowops,
+* fileset construction (:mod:`repro.workloads.fileset`) and random
+  distributions (:mod:`repro.workloads.randomdist`),
+* micro/nano workloads that isolate single dimensions
+  (:mod:`repro.workloads.micro`),
+* Filebench-like macro personalities (:mod:`repro.workloads.personalities`),
+* PostMark-, compile- and IOmeter-like generators
+  (:mod:`repro.workloads.postmark`, :mod:`repro.workloads.compilebench`,
+  :mod:`repro.workloads.iomix`), and
+* trace capture/replay (:mod:`repro.workloads.trace`).
+"""
+
+from repro.workloads.fileset import FilesetSpec, MaterializedFileset
+from repro.workloads.micro import (
+    append_workload,
+    create_delete_workload,
+    metadata_mix_workload,
+    random_read_workload,
+    random_write_workload,
+    sequential_read_workload,
+    sequential_write_workload,
+    stat_workload,
+)
+from repro.workloads.personalities import (
+    fileserver_personality,
+    oltp_personality,
+    varmail_personality,
+    webserver_personality,
+)
+from repro.workloads.postmark import PostmarkConfig, PostmarkResult, run_postmark
+from repro.workloads.compilebench import CompileBenchConfig, compile_workload
+from repro.workloads.iomix import IomixProfile, run_iomix, STANDARD_PROFILES
+from repro.workloads.randomdist import (
+    ChoiceDistribution,
+    FixedValue,
+    LogNormalSizes,
+    UniformSizes,
+    ZipfSelector,
+)
+from repro.workloads.spec import (
+    FileSelector,
+    FlowOp,
+    OffsetMode,
+    OpRecord,
+    OpType,
+    WorkloadEngine,
+    WorkloadSpec,
+)
+from repro.workloads.trace import TraceRecord, TraceRecorder, TraceReplayer, load_trace, save_trace
+
+__all__ = [
+    "FilesetSpec",
+    "MaterializedFileset",
+    "append_workload",
+    "create_delete_workload",
+    "metadata_mix_workload",
+    "random_read_workload",
+    "random_write_workload",
+    "sequential_read_workload",
+    "sequential_write_workload",
+    "stat_workload",
+    "fileserver_personality",
+    "oltp_personality",
+    "varmail_personality",
+    "webserver_personality",
+    "PostmarkConfig",
+    "PostmarkResult",
+    "run_postmark",
+    "CompileBenchConfig",
+    "compile_workload",
+    "IomixProfile",
+    "run_iomix",
+    "STANDARD_PROFILES",
+    "ChoiceDistribution",
+    "FixedValue",
+    "LogNormalSizes",
+    "UniformSizes",
+    "ZipfSelector",
+    "FileSelector",
+    "FlowOp",
+    "OffsetMode",
+    "OpRecord",
+    "OpType",
+    "WorkloadEngine",
+    "WorkloadSpec",
+    "TraceRecord",
+    "TraceRecorder",
+    "TraceReplayer",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,92 @@
+"""A compile-like workload (the "Linux kernel build" anti-pattern).
+
+The paper singles out kernel builds as a widely used but largely meaningless
+file system benchmark: on modern machines the build is CPU bound, so it mostly
+measures the compiler.  This generator reproduces that structure -- read many
+small source files, burn CPU "compiling" them, write small object files -- so
+that the framework can *demonstrate* the anti-pattern: sweeping
+``cpu_think_us`` shows how quickly the file system disappears from the
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workloads.fileset import FilesetSpec
+from repro.workloads.randomdist import LogNormalSizes
+from repro.workloads.spec import (
+    FileSelector,
+    FlowOp,
+    OffsetMode,
+    OpType,
+    WorkloadSpec,
+)
+
+KiB = 1024
+
+
+@dataclass
+class CompileBenchConfig:
+    """Parameters of the compile-like workload."""
+
+    source_files: int = 2000
+    median_source_bytes: int = 8 * KiB
+    object_write_bytes: int = 12 * KiB
+    cpu_think_us: float = 2000.0  # per-file "compilation" time
+    directories: int = 40
+    threads: int = 4
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if self.source_files <= 0:
+            raise ValueError("source_files must be positive")
+        if self.median_source_bytes <= 0 or self.object_write_bytes <= 0:
+            raise ValueError("file sizes must be positive")
+        if self.cpu_think_us < 0:
+            raise ValueError("cpu_think_us must be non-negative")
+        if self.directories <= 0 or self.threads <= 0:
+            raise ValueError("directories and threads must be positive")
+
+
+def compile_workload(config: Optional[CompileBenchConfig] = None) -> WorkloadSpec:
+    """Build the compile-like workload spec."""
+    config = config or CompileBenchConfig()
+    config.validate()
+    return WorkloadSpec(
+        name="compile",
+        description=(
+            "Kernel-build-like workload: read small sources, burn "
+            f"{config.cpu_think_us:.0f} us of CPU per file, write small objects"
+        ),
+        flowops=[
+            FlowOp(op=OpType.STAT, file_selector=FileSelector.ROUND_ROBIN),
+            FlowOp(
+                op=OpType.READ_WHOLE_FILE,
+                iosize=64 * KiB,
+                file_selector=FileSelector.ROUND_ROBIN,
+                think_ns=config.cpu_think_us * 1_000.0,
+            ),
+            FlowOp(op=OpType.CREATE),
+            FlowOp(
+                op=OpType.WRITE,
+                iosize=config.object_write_bytes,
+                offset_mode=OffsetMode.SEQUENTIAL,
+                file_selector=FileSelector.RANDOM,
+            ),
+        ],
+        fileset=FilesetSpec(
+            name="srctree",
+            file_count=config.source_files,
+            size_distribution=LogNormalSizes(
+                median=config.median_source_bytes, sigma=1.0, low=256, high=512 * KiB
+            ),
+            directories=config.directories,
+            depth=2,
+            prealloc_fraction=1.0,
+        ),
+        threads=config.threads,
+        op_overhead_ns=20_000.0,
+        dimensions=["metadata", "caching"],
+    )

@@ -1,0 +1,163 @@
+"""Fileset construction.
+
+A *fileset* is the pre-created population of files a workload operates on
+(Filebench's term).  A :class:`FilesetSpec` describes the population -- how
+many files, how large, how deep a directory tree -- and
+:func:`FilesetSpec.materialize` builds it on a simulated stack, optionally
+outside measured time (the usual benchmark practice of excluding setup).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.randomdist import FixedValue, SizeDistribution
+
+
+@dataclass
+class FilesetSpec:
+    """Description of a file population.
+
+    Attributes
+    ----------
+    name:
+        Used as the directory prefix (``/<name>/...``).
+    file_count:
+        Number of regular files.
+    size_distribution:
+        Distribution of file sizes in bytes.
+    directories:
+        Number of leaf directories the files are spread across.
+    depth:
+        Directory nesting depth (1 means files live directly in the leaf
+        directories under the root of the set).
+    prealloc_fraction:
+        Fraction of the files whose blocks are pre-allocated at materialize
+        time (Filebench's ``prealloc``); the rest are created empty.
+    """
+
+    name: str = "fileset"
+    file_count: int = 1
+    size_distribution: SizeDistribution = field(default_factory=lambda: FixedValue(1024 * 1024))
+    directories: int = 1
+    depth: int = 1
+    prealloc_fraction: float = 1.0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if not self.name or "/" in self.name:
+            raise ValueError("fileset name must be a single path component")
+        if self.file_count < 0:
+            raise ValueError("file_count must be non-negative")
+        if self.directories <= 0 or self.depth <= 0:
+            raise ValueError("directories and depth must be positive")
+        if not (0.0 <= self.prealloc_fraction <= 1.0):
+            raise ValueError("prealloc_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------ structure
+    def directory_paths(self) -> List[str]:
+        """Absolute paths of every directory in the set (parents first)."""
+        paths: List[str] = [f"/{self.name}"]
+        for leaf in range(self.directories):
+            components = [self.name] + [f"d{leaf}.{level}" for level in range(self.depth)]
+            for end in range(2, len(components) + 1):
+                path = "/" + "/".join(components[:end])
+                if path not in paths:
+                    paths.append(path)
+        return paths
+
+    def file_paths(self) -> List[str]:
+        """Absolute paths of every file in the set."""
+        paths = []
+        for index in range(self.file_count):
+            leaf = index % self.directories
+            components = [self.name] + [f"d{leaf}.{level}" for level in range(self.depth)]
+            paths.append("/" + "/".join(components) + f"/f{index:06d}")
+        return paths
+
+    def total_bytes_expected(self) -> float:
+        """Expected total size of the fileset."""
+        return self.file_count * self.size_distribution.mean() * self.prealloc_fraction
+
+    # --------------------------------------------------------- materialize
+    def materialize(
+        self,
+        vfs,
+        rng: Optional[random.Random] = None,
+        charge_time: bool = False,
+    ) -> "MaterializedFileset":
+        """Create the fileset on a VFS.
+
+        With ``charge_time=False`` (the default) file creation and
+        pre-allocation do not advance the virtual clock, mirroring the common
+        practice of excluding setup from measurement.
+        """
+        self.validate()
+        rng = rng if rng is not None else random.Random(1234)
+        sizes: List[int] = []
+        paths = self.file_paths()
+
+        for directory in self.directory_paths():
+            if not vfs.fs.exists(directory):
+                if charge_time:
+                    vfs.mkdir(directory)
+                else:
+                    vfs.fs.mkdir(directory, vfs.clock.now_ns)
+
+        for index, path in enumerate(paths):
+            size = self.size_distribution.sample(rng)
+            sizes.append(size)
+            if charge_time:
+                vfs.create(path)
+            else:
+                vfs.fs.create(path, vfs.clock.now_ns)
+            prealloc = rng.random() < self.prealloc_fraction
+            if prealloc and size > 0:
+                fd = vfs.open(path) if charge_time else vfs.open_uncharged(path)
+                vfs.fallocate(fd, size, charge_time=charge_time)
+                if charge_time:
+                    vfs.close(fd)
+                else:
+                    vfs.close_uncharged(fd)
+
+        return MaterializedFileset(spec=self, paths=paths, sizes=sizes)
+
+
+@dataclass
+class MaterializedFileset:
+    """A fileset that exists on a stack: concrete paths and sizes."""
+
+    spec: FilesetSpec
+    paths: List[str]
+    sizes: List[int]
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def total_bytes(self) -> int:
+        """Total bytes across all files."""
+        return sum(self.sizes)
+
+    def path_of(self, index: int) -> str:
+        """Path of the ``index``-th file."""
+        return self.paths[index]
+
+    def size_of(self, index: int) -> int:
+        """Size of the ``index``-th file."""
+        return self.sizes[index]
+
+
+def single_file_fileset(size_bytes: int, name: str = "bigfile") -> FilesetSpec:
+    """The paper's case-study population: one pre-allocated file of a given size."""
+    if size_bytes <= 0:
+        raise ValueError("size_bytes must be positive")
+    return FilesetSpec(
+        name=name,
+        file_count=1,
+        size_distribution=FixedValue(size_bytes),
+        directories=1,
+        depth=1,
+        prealloc_fraction=1.0,
+    )

@@ -1,0 +1,125 @@
+"""IOmeter-like raw device workloads (the "I/O dimension").
+
+IOmeter-style benchmarks bypass the file system entirely and characterise the
+device: bandwidth and latency as a function of request size, randomness and
+read/write mix.  They run directly against a :class:`BlockDevice`, which is
+how the paper's "I/O benchmark" dimension is isolated from everything above
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.storage.device import BlockDevice
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class IomixProfile:
+    """One access-pattern specification (an IOmeter "access spec").
+
+    Attributes
+    ----------
+    name:
+        Profile name used in reports.
+    request_bytes:
+        I/O request size.
+    read_fraction:
+        Fraction of requests that are reads.
+    random_fraction:
+        Fraction of requests issued at uniformly random offsets; the rest are
+        sequential from the previous request.
+    span_bytes:
+        Size of the device region exercised (0 means the whole device).
+    """
+
+    name: str
+    request_bytes: int = 4 * KiB
+    read_fraction: float = 1.0
+    random_fraction: float = 1.0
+    span_bytes: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+        if self.request_bytes <= 0:
+            raise ValueError("request_bytes must be positive")
+        if not (0.0 <= self.read_fraction <= 1.0):
+            raise ValueError("read_fraction must be in [0, 1]")
+        if not (0.0 <= self.random_fraction <= 1.0):
+            raise ValueError("random_fraction must be in [0, 1]")
+        if self.span_bytes < 0:
+            raise ValueError("span_bytes must be non-negative")
+
+
+#: The classic IOmeter access specs papers tend to quote.
+STANDARD_PROFILES: List[IomixProfile] = [
+    IomixProfile(name="4k-random-read", request_bytes=4 * KiB, read_fraction=1.0, random_fraction=1.0),
+    IomixProfile(name="4k-random-write", request_bytes=4 * KiB, read_fraction=0.0, random_fraction=1.0),
+    IomixProfile(name="64k-sequential-read", request_bytes=64 * KiB, read_fraction=1.0, random_fraction=0.0),
+    IomixProfile(name="64k-sequential-write", request_bytes=64 * KiB, read_fraction=0.0, random_fraction=0.0),
+    IomixProfile(name="8k-oltp-mix", request_bytes=8 * KiB, read_fraction=0.67, random_fraction=1.0),
+]
+
+
+@dataclass
+class IomixResult:
+    """Result of one profile run."""
+
+    profile: IomixProfile
+    requests: int
+    total_bytes: int
+    duration_s: float
+    iops: float
+    bandwidth_mb_s: float
+    mean_latency_ms: float
+    latencies_ns: List[float]
+
+
+def run_iomix(
+    device: BlockDevice,
+    profile: IomixProfile,
+    requests: int = 2000,
+    seed: int = 11,
+) -> IomixResult:
+    """Issue ``requests`` I/Os per ``profile`` directly at the block device."""
+    profile.validate()
+    if requests <= 0:
+        raise ValueError("requests must be positive")
+    rng = random.Random(seed)
+    span = profile.span_bytes or device.capacity_bytes
+    span = min(span, device.capacity_bytes)
+    slots = max(1, span // profile.request_bytes - 1)
+
+    latencies: List[float] = []
+    offset = 0
+    total_ns = 0.0
+    moved = 0
+    for _ in range(requests):
+        if rng.random() < profile.random_fraction:
+            offset = rng.randrange(slots) * profile.request_bytes
+        else:
+            offset = (offset + profile.request_bytes) % (slots * profile.request_bytes)
+        if rng.random() < profile.read_fraction:
+            latency = device.read(offset, profile.request_bytes, rng)
+        else:
+            latency = device.write(offset, profile.request_bytes, rng)
+        latencies.append(latency)
+        total_ns += latency
+        moved += profile.request_bytes
+
+    duration_s = total_ns / 1e9
+    return IomixResult(
+        profile=profile,
+        requests=requests,
+        total_bytes=moved,
+        duration_s=duration_s,
+        iops=requests / duration_s if duration_s > 0 else 0.0,
+        bandwidth_mb_s=(moved / MiB) / duration_s if duration_s > 0 else 0.0,
+        mean_latency_ms=(total_ns / requests) / 1e6,
+        latencies_ns=latencies,
+    )

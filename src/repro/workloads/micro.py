@@ -1,0 +1,246 @@
+"""Micro (nano) workloads, each isolating one file system dimension.
+
+The paper argues that "a file system benchmark should be a suite of
+nano-benchmarks where each individual test measures a particular aspect of
+file system performance and measures it well".  These constructors build the
+individual nano-workloads; :mod:`repro.core.suite` composes them into the
+suite the paper asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.fileset import FilesetSpec, single_file_fileset
+from repro.workloads.randomdist import FixedValue, UniformSizes
+from repro.workloads.spec import (
+    FileSelector,
+    FlowOp,
+    OffsetMode,
+    OpType,
+    WorkloadSpec,
+)
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+def random_read_workload(
+    file_size_bytes: int,
+    iosize: int = 8 * KiB,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+    name: Optional[str] = None,
+) -> WorkloadSpec:
+    """The paper's case-study workload: uniform random reads of one file.
+
+    Whether this measures memory, cache-warm-up behaviour or the disk depends
+    entirely on ``file_size_bytes`` relative to the page cache -- which is the
+    point of the case study.
+    """
+    return WorkloadSpec(
+        name=name or f"random-read-{file_size_bytes // MiB}m",
+        description=(
+            "Single-file uniform random reads "
+            f"({iosize} B I/Os over a {file_size_bytes} B file)"
+        ),
+        flowops=[
+            FlowOp(
+                op=OpType.READ,
+                iosize=iosize,
+                offset_mode=OffsetMode.RANDOM,
+                file_selector=FileSelector.SAME,
+            )
+        ],
+        fileset=single_file_fileset(file_size_bytes),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["caching", "io"],
+    )
+
+
+def sequential_read_workload(
+    file_size_bytes: int,
+    iosize: int = 128 * KiB,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Whole-file sequential reads: the on-disk layout / bandwidth dimension."""
+    return WorkloadSpec(
+        name=f"sequential-read-{file_size_bytes // MiB}m",
+        description="Single-file sequential reads",
+        flowops=[
+            FlowOp(
+                op=OpType.READ,
+                iosize=iosize,
+                offset_mode=OffsetMode.SEQUENTIAL,
+                file_selector=FileSelector.SAME,
+            )
+        ],
+        fileset=single_file_fileset(file_size_bytes),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["ondisk", "io"],
+    )
+
+
+def random_write_workload(
+    file_size_bytes: int,
+    iosize: int = 8 * KiB,
+    threads: int = 1,
+    fsync_each: bool = False,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Random overwrites of an existing file (dirty-page and writeback path)."""
+    return WorkloadSpec(
+        name=f"random-write-{file_size_bytes // MiB}m",
+        description="Single-file uniform random writes",
+        flowops=[
+            FlowOp(
+                op=OpType.WRITE,
+                iosize=iosize,
+                offset_mode=OffsetMode.RANDOM,
+                file_selector=FileSelector.SAME,
+                fsync_after=fsync_each,
+            )
+        ],
+        fileset=single_file_fileset(file_size_bytes),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["caching", "io"],
+    )
+
+
+def sequential_write_workload(
+    file_size_bytes: int,
+    iosize: int = 128 * KiB,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Sequential overwrite of a file (allocator and writeback bandwidth)."""
+    return WorkloadSpec(
+        name=f"sequential-write-{file_size_bytes // MiB}m",
+        description="Single-file sequential writes",
+        flowops=[
+            FlowOp(
+                op=OpType.WRITE,
+                iosize=iosize,
+                offset_mode=OffsetMode.SEQUENTIAL,
+                file_selector=FileSelector.SAME,
+            )
+        ],
+        fileset=single_file_fileset(file_size_bytes),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["ondisk", "io"],
+    )
+
+
+def append_workload(
+    iosize: int = 8 * KiB,
+    fsync_each: bool = True,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Log-style appends with optional per-append fsync (journals love this)."""
+    return WorkloadSpec(
+        name="append-fsync" if fsync_each else "append",
+        description="Append to a log file" + (" with fsync after each append" if fsync_each else ""),
+        flowops=[
+            FlowOp(
+                op=OpType.APPEND,
+                iosize=iosize,
+                file_selector=FileSelector.SAME,
+                fsync_after=fsync_each,
+            )
+        ],
+        fileset=single_file_fileset(1 * MiB, name="logset"),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["metadata", "io"],
+    )
+
+
+def create_delete_workload(
+    file_count: int = 1000,
+    file_size_bytes: int = 4 * KiB,
+    directories: int = 10,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Pure meta-data churn: create files, then delete files, repeatedly."""
+    return WorkloadSpec(
+        name="create-delete",
+        description="Create/delete churn across a directory tree",
+        flowops=[
+            FlowOp(op=OpType.CREATE),
+            FlowOp(op=OpType.CREATE),
+            FlowOp(op=OpType.DELETE),
+        ],
+        fileset=FilesetSpec(
+            name="churnset",
+            file_count=file_count,
+            size_distribution=FixedValue(file_size_bytes),
+            directories=directories,
+            prealloc_fraction=1.0,
+        ),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["metadata"],
+    )
+
+
+def stat_workload(
+    file_count: int = 10_000,
+    directories: int = 100,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """Path resolution and inode lookup (cold vs warm metadata cache)."""
+    return WorkloadSpec(
+        name="stat-scan",
+        description="Random stat() calls over a large population",
+        flowops=[
+            FlowOp(op=OpType.STAT, file_selector=FileSelector.RANDOM),
+        ],
+        fileset=FilesetSpec(
+            name="statset",
+            file_count=file_count,
+            size_distribution=FixedValue(4 * KiB),
+            directories=directories,
+            prealloc_fraction=0.0,
+        ),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["metadata", "caching"],
+    )
+
+
+def metadata_mix_workload(
+    file_count: int = 5000,
+    directories: int = 50,
+    threads: int = 1,
+    op_overhead_ns: float = 98_000.0,
+) -> WorkloadSpec:
+    """A mixed metadata workload: create, stat, open/close, delete."""
+    return WorkloadSpec(
+        name="metadata-mix",
+        description="Mixed metadata operations (create/stat/open/close/delete)",
+        flowops=[
+            FlowOp(op=OpType.CREATE),
+            FlowOp(op=OpType.STAT, file_selector=FileSelector.RANDOM, repeat=2),
+            FlowOp(op=OpType.OPEN, file_selector=FileSelector.RANDOM),
+            FlowOp(op=OpType.CLOSE, file_selector=FileSelector.RANDOM),
+            FlowOp(op=OpType.DELETE),
+        ],
+        fileset=FilesetSpec(
+            name="metamix",
+            file_count=file_count,
+            size_distribution=UniformSizes(1 * KiB, 64 * KiB, granularity=KiB),
+            directories=directories,
+            prealloc_fraction=0.5,
+        ),
+        threads=threads,
+        op_overhead_ns=op_overhead_ns,
+        dimensions=["metadata"],
+    )

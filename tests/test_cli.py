@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments.config import quick_scale
+
+
+class TestParser:
+    def test_requires_a_command(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure99"])
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure1", "--fs", "zfs"])
+
+
+class TestTable1Command:
+    def test_prints_the_table(self, capsys):
+        assert cli.main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Postmark" in output
+        assert "Ad-hoc" in output
+        assert "Legend" in output
+
+
+class TestFigureCommands:
+    """Figure commands are dispatched with stubbed harnesses (the real ones are
+    exercised by tests/test_experiments.py and by the benchmarks)."""
+
+    class _StubResult:
+        def render(self):
+            return "stub-render"
+
+    def test_figure1_dispatch(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_run_figure1(fs_type, scale):
+            captured["fs"] = fs_type
+            captured["scale"] = scale
+            return self._StubResult()
+
+        monkeypatch.setattr(cli, "run_figure1", fake_run_figure1)
+        assert cli.main(["figure1", "--fs", "xfs"]) == 0
+        assert captured["fs"] == "xfs"
+        assert captured["scale"].name == "default"
+        assert "stub-render" in capsys.readouterr().out
+
+    def test_paper_scale_flag(self, monkeypatch):
+        captured = {}
+        monkeypatch.setattr(
+            cli, "run_figure3", lambda fs_type, scale: captured.update(scale=scale) or self._StubResult()
+        )
+        cli.main(["--paper-scale", "figure3"])
+        assert captured["scale"].name == "paper"
+
+    def test_figure2_default_filesystems(self, monkeypatch):
+        captured = {}
+        monkeypatch.setattr(
+            cli,
+            "run_figure2",
+            lambda fs_types, scale: captured.update(fs=fs_types) or self._StubResult(),
+        )
+        cli.main(["figure2"])
+        assert captured["fs"] == ("ext2", "ext3", "xfs")
+
+    def test_figure2_explicit_filesystems(self, monkeypatch):
+        captured = {}
+        monkeypatch.setattr(
+            cli,
+            "run_figure2",
+            lambda fs_types, scale: captured.update(fs=fs_types) or self._StubResult(),
+        )
+        cli.main(["figure2", "--fs", "ext2", "--fs", "xfs"])
+        assert captured["fs"] == ("ext2", "xfs")
+
+    def test_figure4_and_zoom_dispatch(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(cli, "run_figure4", lambda fs_type, scale: calls.append("f4") or self._StubResult())
+        monkeypatch.setattr(
+            cli, "run_transition_zoom", lambda fs_type, scale: calls.append("zoom") or self._StubResult()
+        )
+        cli.main(["figure4"])
+        cli.main(["zoom"])
+        assert calls == ["f4", "zoom"]
+
+    def test_suite_command(self, monkeypatch, capsys):
+        class _FakeSuite:
+            def __init__(self, testbed=None, quick=False):
+                self.quick = quick
+
+            def run(self, fs_types):
+                return {"fs": fs_types}
+
+        monkeypatch.setattr(cli, "NanoBenchmarkSuite", _FakeSuite)
+        monkeypatch.setattr(cli, "suite_report", lambda result: f"suite over {result['fs']}")
+        assert cli.main(["suite", "--quick", "--fs", "ext2", "--scaled-testbed", "0.125"]) == 0
+        assert "ext2" in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Tests for the block layer: requests, schedulers, merging, accounting."""
+
+import random
+
+import pytest
+
+from repro.storage.device import (
+    BlockDevice,
+    DeadlineScheduler,
+    ElevatorScheduler,
+    IORequest,
+    IOScheduler,
+    NoopScheduler,
+    make_scheduler,
+)
+from repro.storage.disk import MechanicalDisk, RamDisk
+
+
+@pytest.fixture
+def rng():
+    return random.Random(17)
+
+
+class TestIORequest:
+    def test_end_bytes(self):
+        assert IORequest(4096, 8192).end_bytes == 12288
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            IORequest(-1, 10)
+        with pytest.raises(ValueError):
+            IORequest(0, 0)
+
+
+class TestMerging:
+    def test_adjacent_same_direction_merged(self):
+        requests = [IORequest(0, 4096), IORequest(4096, 4096), IORequest(8192, 4096)]
+        merged = IOScheduler.merge_adjacent(requests)
+        assert len(merged) == 1
+        assert merged[0].nbytes == 3 * 4096
+
+    def test_non_adjacent_not_merged(self):
+        requests = [IORequest(0, 4096), IORequest(16384, 4096)]
+        assert len(IOScheduler.merge_adjacent(requests)) == 2
+
+    def test_reads_and_writes_not_merged_together(self):
+        requests = [IORequest(0, 4096, is_write=False), IORequest(4096, 4096, is_write=True)]
+        assert len(IOScheduler.merge_adjacent(requests)) == 2
+
+    def test_empty_batch(self):
+        assert IOScheduler.merge_adjacent([]) == []
+
+
+class TestSchedulers:
+    def test_noop_preserves_order(self):
+        requests = [IORequest(8192, 4096), IORequest(0, 4096)]
+        assert NoopScheduler().order(requests, head_offset=0) == requests
+
+    def test_elevator_sweeps_upward_from_head(self):
+        requests = [IORequest(100 * 4096, 4096), IORequest(10 * 4096, 4096), IORequest(50 * 4096, 4096)]
+        ordered = ElevatorScheduler().order(requests, head_offset=40 * 4096)
+        offsets = [r.offset_bytes for r in ordered]
+        assert offsets == [50 * 4096, 100 * 4096, 10 * 4096]
+
+    def test_deadline_prioritises_urgent_requests(self):
+        requests = [
+            IORequest(100 * 4096, 4096, priority=1),
+            IORequest(0, 4096, priority=0),
+        ]
+        ordered = DeadlineScheduler().order(requests, head_offset=0)
+        assert ordered[0].priority == 0
+
+    def test_make_scheduler_by_name(self):
+        assert make_scheduler("noop").name == "noop"
+        assert make_scheduler("elevator").name == "elevator"
+        assert make_scheduler("deadline").name == "deadline"
+        with pytest.raises(ValueError):
+            make_scheduler("bfq")
+
+
+class TestBlockDevice:
+    def test_single_read_accounts_stats(self, rng):
+        device = BlockDevice(RamDisk())
+        latency = device.read(0, 4096, rng)
+        assert latency > 0
+        assert device.stats.read_requests == 1
+        assert device.stats.total_service_ns == pytest.approx(latency)
+
+    def test_single_write_accounts_stats(self, rng):
+        device = BlockDevice(RamDisk())
+        device.write(0, 4096, rng)
+        assert device.stats.write_requests == 1
+
+    def test_submit_empty_batch_is_free(self, rng):
+        device = BlockDevice(RamDisk())
+        assert device.submit([], rng) == 0.0
+
+    def test_submit_batch_merges_adjacent(self, rng):
+        device = BlockDevice(RamDisk(), merge=True)
+        batch = [IORequest(i * 4096, 4096) for i in range(8)]
+        device.submit(batch, rng)
+        assert device.stats.requests == 1
+        assert device.stats.merged_requests == 7
+
+    def test_submit_batch_without_merging(self, rng):
+        device = BlockDevice(RamDisk(), merge=False)
+        batch = [IORequest(i * 4096, 4096) for i in range(8)]
+        device.submit(batch, rng)
+        assert device.stats.requests == 8
+
+    def test_elevator_scheduling_reduces_seek_time(self, rng):
+        offsets = [rng.randrange(0, 200 * 10**9, 4096) for _ in range(64)]
+
+        def total_time(scheduler):
+            device = BlockDevice(MechanicalDisk(), scheduler=scheduler, merge=False)
+            batch = [IORequest(offset, 4096) for offset in offsets]
+            return device.submit(batch, random.Random(5))
+
+        assert total_time(ElevatorScheduler()) < total_time(NoopScheduler())
+
+    def test_flush_delegates_to_model(self, rng):
+        hdd = BlockDevice(MechanicalDisk())
+        ram = BlockDevice(RamDisk())
+        assert hdd.flush(rng) > 0
+        assert ram.flush(rng) == 0.0  # RamDisk has no flush cost
+
+    def test_capacity_exposed(self):
+        device = BlockDevice(RamDisk(capacity_bytes=10**9))
+        assert device.capacity_bytes == 10**9
+
+    def test_reset_state(self, rng):
+        device = BlockDevice(RamDisk())
+        device.read(0, 4096, rng)
+        device.reset_state()
+        assert device.stats.requests == 0
+        assert device.model.stats.reads == 0

@@ -1,0 +1,84 @@
+"""Tests for the dimension taxonomy."""
+
+import pytest
+
+from repro.core.dimensions import Coverage, Dimension, DimensionVector
+
+
+class TestDimension:
+    def test_five_dimensions_in_table_order(self):
+        ordered = Dimension.ordered()
+        assert len(ordered) == 5
+        assert ordered[0] is Dimension.IO
+        assert ordered[-1] is Dimension.SCALING
+
+    def test_titles_and_descriptions(self):
+        for dimension in Dimension:
+            assert dimension.title
+            assert dimension.description.endswith(".")
+
+    def test_constructible_from_string(self):
+        assert Dimension("caching") is Dimension.CACHING
+
+
+class TestCoverage:
+    def test_symbols_match_table_legend(self):
+        assert Coverage.ISOLATES.symbol == "*"
+        assert Coverage.EXERCISES.symbol == "o"
+        assert Coverage.TRACE_DEPENDENT.symbol == "#"
+        assert Coverage.NONE.symbol == " "
+
+    def test_scores_ordered(self):
+        assert (
+            Coverage.ISOLATES.score
+            > Coverage.EXERCISES.score
+            > Coverage.TRACE_DEPENDENT.score
+            > Coverage.NONE.score
+        )
+
+
+class TestDimensionVector:
+    def test_defaults_to_no_coverage(self):
+        vector = DimensionVector()
+        assert not any(vector.covers(d) for d in Dimension)
+        assert vector.isolation_score() == 0.0
+
+    def test_of_constructor(self):
+        vector = DimensionVector.of(isolates=[Dimension.IO], exercises=[Dimension.CACHING])
+        assert vector.isolates(Dimension.IO)
+        assert vector.covers(Dimension.CACHING)
+        assert not vector.isolates(Dimension.CACHING)
+        assert not vector.covers(Dimension.METADATA)
+
+    def test_isolates_takes_precedence_over_exercises(self):
+        vector = DimensionVector.of(isolates=[Dimension.IO], exercises=[Dimension.IO])
+        assert vector[Dimension.IO] is Coverage.ISOLATES
+
+    def test_from_names(self):
+        vector = DimensionVector.from_names(["caching", "io"])
+        assert vector.covers(Dimension.CACHING)
+        assert vector.covers(Dimension.IO)
+
+    def test_row_symbols_in_order(self):
+        vector = DimensionVector.of(isolates=[Dimension.IO], trace=[Dimension.SCALING])
+        assert vector.row_symbols() == ["*", " ", " ", " ", "#"]
+
+    def test_covered_dimensions_ordered(self):
+        vector = DimensionVector.of(exercises=[Dimension.SCALING, Dimension.IO])
+        assert vector.covered_dimensions() == [Dimension.IO, Dimension.SCALING]
+
+    def test_merge_max_keeps_stronger_coverage(self):
+        a = DimensionVector.of(isolates=[Dimension.IO])
+        b = DimensionVector.of(exercises=[Dimension.IO, Dimension.CACHING])
+        merged = a.merge_max(b)
+        assert merged[Dimension.IO] is Coverage.ISOLATES
+        assert merged[Dimension.CACHING] is Coverage.EXERCISES
+
+    def test_describe(self):
+        vector = DimensionVector.of(isolates=[Dimension.METADATA])
+        assert "metadata" in vector.describe()
+        assert DimensionVector().describe() == "covers nothing"
+
+    def test_isolation_score(self):
+        vector = DimensionVector.of(isolates=[Dimension.IO], exercises=[Dimension.CACHING])
+        assert vector.isolation_score() == pytest.approx(1.5)

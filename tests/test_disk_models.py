@@ -1,0 +1,160 @@
+"""Tests for the mechanical disk, SSD and RAM disk models."""
+
+import random
+
+import pytest
+
+from repro.storage.clock import NS_PER_MS
+from repro.storage.disk import (
+    MAXTOR_7L250S0,
+    DiskGeometry,
+    MechanicalDisk,
+    RamDisk,
+    SolidStateDisk,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(3)
+
+
+class TestDiskGeometry:
+    def test_paper_geometry_is_valid(self):
+        MAXTOR_7L250S0.validate()
+
+    def test_rotation_time_for_7200_rpm(self):
+        assert MAXTOR_7L250S0.rotation_time_ns() == pytest.approx(60.0 / 7200 * 1e9)
+
+    def test_inconsistent_seek_times_rejected(self):
+        bad = DiskGeometry(avg_seek_ms=1.0, track_to_track_seek_ms=5.0, full_stroke_seek_ms=10.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_bad_transfer_rates_rejected(self):
+        bad = DiskGeometry(max_transfer_mb_s=10.0, min_transfer_mb_s=50.0)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+
+class TestMechanicalDisk:
+    def test_random_read_latency_in_mechanical_range(self, rng):
+        disk = MechanicalDisk()
+        # Random 8 KiB reads across the whole device: several ms each.
+        latencies = []
+        for _ in range(200):
+            offset = rng.randrange(0, disk.capacity_bytes - 8192, 4096)
+            latencies.append(disk.read(offset, 8192, rng))
+        mean_ms = sum(latencies) / len(latencies) / NS_PER_MS
+        assert 3.0 <= mean_ms <= 30.0
+
+    def test_sequential_reads_hit_track_cache(self, rng):
+        disk = MechanicalDisk()
+        first = disk.read(0, 64 * 1024, rng)
+        second = disk.read(64 * 1024, 64 * 1024, rng)
+        # The second read is served from the drive's segment cache.
+        assert second < first
+        assert disk.stats.track_cache_hits >= 1
+
+    def test_short_seeks_cheaper_than_full_stroke(self, rng):
+        disk = MechanicalDisk()
+        near = disk._seek_time_ns(0, 1024 * 1024)
+        far = disk._seek_time_ns(0, disk.capacity_bytes - 1)
+        assert near < far
+
+    def test_zoned_transfer_rate_slower_at_inner_tracks(self):
+        disk = MechanicalDisk()
+        outer = disk._transfer_rate_bytes_per_ns(0)
+        inner = disk._transfer_rate_bytes_per_ns(disk.capacity_bytes - 1)
+        assert outer > inner
+
+    def test_write_cache_makes_writes_cheap(self, rng):
+        cached = MechanicalDisk(write_cache_enabled=True)
+        uncached = MechanicalDisk(write_cache_enabled=False)
+        cached_latency = sum(cached.write(i * 8192, 8192, rng) for i in range(100))
+        uncached_latency = sum(uncached.write(i * 8192, 8192, rng) for i in range(100))
+        assert cached_latency < uncached_latency
+
+    def test_flush_costs_more_with_write_cache(self, rng):
+        disk = MechanicalDisk(write_cache_enabled=True)
+        assert disk.flush_latency_ns(rng) > 0
+
+    def test_out_of_range_request_rejected(self, rng):
+        disk = MechanicalDisk()
+        with pytest.raises(ValueError):
+            disk.read(disk.capacity_bytes, 4096, rng)
+        with pytest.raises(ValueError):
+            disk.read(-1, 4096, rng)
+        with pytest.raises(ValueError):
+            disk.read(0, 0, rng)
+
+    def test_stats_accumulate(self, rng):
+        disk = MechanicalDisk()
+        disk.read(0, 4096, rng)
+        disk.write(8192, 4096, rng)
+        assert disk.stats.reads == 1
+        assert disk.stats.writes == 1
+        assert disk.stats.bytes_read == 4096
+        assert disk.stats.bytes_written == 4096
+        assert disk.stats.busy_time_ns > 0
+
+    def test_reset_state_clears_stats_and_position(self, rng):
+        disk = MechanicalDisk()
+        disk.read(disk.capacity_bytes // 2, 4096, rng)
+        disk.reset_state()
+        assert disk.stats.reads == 0
+        assert disk._head_offset == 0
+
+
+class TestSolidStateDisk:
+    def test_read_latency_near_configured_value(self, rng):
+        ssd = SolidStateDisk(read_latency_us=80.0)
+        latencies = [ssd.read(i * 4096, 4096, rng) for i in range(100)]
+        mean_us = sum(latencies) / len(latencies) / 1000.0
+        assert 70.0 <= mean_us <= 120.0
+
+    def test_writes_slower_than_reads(self, rng):
+        ssd = SolidStateDisk()
+        reads = sum(ssd.read(i * 4096, 4096, rng) for i in range(200))
+        writes = sum(ssd.write(i * 4096, 4096, rng) for i in range(200))
+        assert writes > reads
+
+    def test_large_transfer_uses_channels(self, rng):
+        ssd = SolidStateDisk(channels=8)
+        small = ssd.read(0, 4096, rng)
+        large = ssd.read(0, 8 * 4096, rng)
+        # 8 pages over 8 channels should not cost 8x a single page.
+        assert large < small * 4
+
+    def test_random_faster_than_mechanical_disk(self, rng):
+        ssd = SolidStateDisk()
+        disk = MechanicalDisk()
+        ssd_total = sum(
+            ssd.read(rng.randrange(0, 10**9, 4096), 8192, rng) for _ in range(50)
+        )
+        disk_total = sum(
+            disk.read(rng.randrange(0, 10**9, 4096), 8192, rng) for _ in range(50)
+        )
+        assert ssd_total < disk_total / 10
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SolidStateDisk(channels=0)
+        with pytest.raises(ValueError):
+            SolidStateDisk(gc_probability=1.5)
+
+
+class TestRamDisk:
+    def test_latency_scales_with_size(self, rng):
+        ram = RamDisk()
+        small = ram.read(0, 4096, rng)
+        large = ram.read(0, 1024 * 1024, rng)
+        assert large > small
+
+    def test_much_faster_than_disk(self, rng):
+        ram = RamDisk()
+        assert ram.read(0, 8192, rng) < 100_000  # < 0.1 ms
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            RamDisk(bandwidth_gb_s=0)

@@ -1,0 +1,106 @@
+"""Tests for fileset specification and materialization."""
+
+import random
+
+import pytest
+
+from repro.fs.stack import build_stack
+from repro.storage.config import scaled_testbed
+from repro.workloads.fileset import FilesetSpec, single_file_fileset
+from repro.workloads.randomdist import FixedValue, UniformSizes
+
+KiB = 1024
+MiB = 1024 * 1024
+
+
+@pytest.fixture
+def stack():
+    return build_stack("ext2", testbed=scaled_testbed(1.0 / 16.0), seed=9)
+
+
+class TestFilesetSpec:
+    def test_single_file_fileset(self):
+        spec = single_file_fileset(64 * MiB)
+        spec.validate()
+        assert spec.file_count == 1
+        assert spec.size_distribution.mean() == 64 * MiB
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            FilesetSpec(name="has/slash").validate()
+        with pytest.raises(ValueError):
+            FilesetSpec(file_count=-1).validate()
+        with pytest.raises(ValueError):
+            FilesetSpec(directories=0).validate()
+        with pytest.raises(ValueError):
+            FilesetSpec(prealloc_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            single_file_fileset(0)
+
+    def test_file_paths_spread_across_directories(self):
+        spec = FilesetSpec(name="set", file_count=10, directories=5)
+        paths = spec.file_paths()
+        assert len(paths) == 10
+        assert len({p.rsplit("/", 1)[0] for p in paths}) == 5
+
+    def test_directory_paths_include_parents(self):
+        spec = FilesetSpec(name="set", file_count=2, directories=1, depth=3)
+        paths = spec.directory_paths()
+        assert "/set" in paths
+        assert any(p.count("/") == 4 for p in paths)
+
+    def test_expected_bytes(self):
+        spec = FilesetSpec(name="set", file_count=10, size_distribution=FixedValue(KiB))
+        assert spec.total_bytes_expected() == 10 * KiB
+
+
+class TestMaterialization:
+    def test_files_exist_after_materialize(self, stack):
+        spec = FilesetSpec(name="pop", file_count=20, directories=4,
+                           size_distribution=FixedValue(16 * KiB))
+        fileset = spec.materialize(stack.vfs)
+        assert len(fileset) == 20
+        for path in fileset.paths:
+            assert stack.vfs.fs.exists(path)
+
+    def test_prealloc_allocates_blocks(self, stack):
+        spec = FilesetSpec(name="pop", file_count=5, size_distribution=FixedValue(64 * KiB))
+        fileset = spec.materialize(stack.vfs)
+        for path in fileset.paths:
+            inode = stack.vfs.fs.resolve(path)
+            assert inode.size_bytes == 64 * KiB
+
+    def test_no_prealloc_leaves_empty_files(self, stack):
+        spec = FilesetSpec(
+            name="pop", file_count=5, size_distribution=FixedValue(64 * KiB), prealloc_fraction=0.0
+        )
+        fileset = spec.materialize(stack.vfs)
+        for path in fileset.paths:
+            assert stack.vfs.fs.resolve(path).size_bytes == 0
+
+    def test_materialize_without_charging_time(self, stack):
+        before = stack.clock.now_ns
+        FilesetSpec(name="pop", file_count=10).materialize(stack.vfs, charge_time=False)
+        assert stack.clock.now_ns == before
+
+    def test_materialize_with_charging_time(self, stack):
+        before = stack.clock.now_ns
+        FilesetSpec(name="pop", file_count=10, size_distribution=FixedValue(4 * KiB)).materialize(
+            stack.vfs, charge_time=True
+        )
+        assert stack.clock.now_ns > before
+
+    def test_sizes_follow_distribution(self, stack):
+        spec = FilesetSpec(
+            name="pop",
+            file_count=50,
+            size_distribution=UniformSizes(4 * KiB, 64 * KiB, granularity=KiB),
+        )
+        fileset = spec.materialize(stack.vfs, rng=random.Random(1))
+        assert all(4 * KiB <= size <= 64 * KiB for size in fileset.sizes)
+        assert fileset.total_bytes() == sum(fileset.sizes)
+
+    def test_accessors(self, stack):
+        fileset = FilesetSpec(name="pop", file_count=3).materialize(stack.vfs)
+        assert fileset.path_of(0).startswith("/pop/")
+        assert fileset.size_of(0) == fileset.sizes[0]

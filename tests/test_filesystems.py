@@ -1,0 +1,164 @@
+"""Tests for the Ext2/Ext3/XFS behavioural models."""
+
+import pytest
+
+from repro.fs.base import Inode
+from repro.fs.ext2 import Ext2FileSystem
+from repro.fs.ext3 import Ext3FileSystem, JournalMode
+from repro.fs.xfs import XfsFileSystem
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+
+
+@pytest.fixture(params=["ext2", "ext3", "xfs"])
+def any_fs(request):
+    classes = {"ext2": Ext2FileSystem, "ext3": Ext3FileSystem, "xfs": XfsFileSystem}
+    return classes[request.param](capacity_bytes=8 * GiB)
+
+
+class TestCommonBehaviour:
+    def test_names_and_cluster_sizes(self):
+        assert Ext2FileSystem(GiB).name == "ext2"
+        assert Ext3FileSystem(GiB).name == "ext3"
+        assert XfsFileSystem(GiB).name == "xfs"
+        assert Ext2FileSystem(GiB).cluster_pages < XfsFileSystem(GiB).cluster_pages
+
+    def test_allocate_range_maps_blocks(self, any_fs):
+        inode, _ = any_fs.create("/f", 0.0)
+        any_fs.allocate_range(inode, 0, 10 * MiB, 0.0)
+        assert inode.size_bytes == 10 * MiB
+        # XFS delays allocation until a flush/read forces it.
+        requests = any_fs.map_read(inode, 0, 16)
+        assert requests, "mapping a written range must produce device requests"
+        total_bytes = sum(r.nbytes for r in requests)
+        assert total_bytes == 16 * any_fs.block_size
+
+    def test_allocate_range_is_idempotent_for_overwrites(self, any_fs):
+        inode, _ = any_fs.create("/f", 0.0)
+        any_fs.allocate_range(inode, 0, 1 * MiB, 0.0)
+        any_fs.map_read(inode, 0, 1)  # force any delayed allocation
+        blocks_before = any_fs.free_blocks()
+        any_fs.allocate_range(inode, 0, 1 * MiB, 1.0)
+        any_fs.map_read(inode, 0, 1)
+        assert any_fs.free_blocks() == blocks_before
+
+    def test_unlink_frees_blocks(self, any_fs):
+        inode, _ = any_fs.create("/f", 0.0)
+        any_fs.allocate_range(inode, 0, 4 * MiB, 0.0)
+        any_fs.map_read(inode, 0, 1)
+        free_with_file = any_fs.free_blocks()
+        any_fs.unlink("/f", 1.0)
+        assert any_fs.free_blocks() > free_with_file
+
+    def test_fsync_cost_produces_durable_work(self, any_fs):
+        inode, _ = any_fs.create("/f", 0.0)
+        any_fs.allocate_range(inode, 0, 64 * 1024, 0.0)
+        cost = any_fs.fsync_cost(inode, dirty_data_pages=4, now_ns=1.0)
+        assert cost.cpu_ns > 0
+        assert cost.device_requests or cost.flushes
+
+    def test_utilization_increases_with_data(self, any_fs):
+        before = any_fs.utilization()
+        inode, _ = any_fs.create("/big", 0.0)
+        any_fs.allocate_range(inode, 0, 256 * MiB, 0.0)
+        any_fs.map_read(inode, 0, 1)
+        assert any_fs.utilization() > before
+
+
+class TestExt2Layout:
+    def test_large_file_fragments_at_group_boundaries(self):
+        fs = Ext2FileSystem(capacity_bytes=8 * GiB, blocks_per_group=32768)
+        inode, _ = fs.create("/big", 0.0)
+        fs.allocate_range(inode, 0, 512 * MiB, 0.0)  # 4 block groups worth
+        assert inode.fragmentation() >= 1
+
+    def test_linear_directory_lookup_cost_grows_with_entries(self):
+        fs = Ext2FileSystem(capacity_bytes=2 * GiB)
+        fs.mkdir("/small", 0.0)
+        fs.mkdir("/big", 0.0)
+        fs.create("/small/one", 0.0)
+        for index in range(400):
+            fs.create(f"/big/f{index}", 0.0)
+        small_cost = fs.lookup_cost("/small/one")
+        big_cost = fs.lookup_cost("/big/f399")
+        assert big_cost.cpu_ns > small_cost.cpu_ns
+
+
+class TestExt3Journaling:
+    def test_metadata_operations_commit_to_journal(self):
+        fs = Ext3FileSystem(capacity_bytes=2 * GiB)
+        _, cost = fs.create("/f", 0.0)
+        assert fs.stats.journal_commits >= 1
+        assert cost.flushes >= 1
+        journal_start = fs.journal.start_block * fs.block_size
+        journal_end = (fs.journal.start_block + fs.journal.size_blocks) * fs.block_size
+        assert any(journal_start <= r.offset_bytes < journal_end for r in cost.device_requests)
+
+    def test_ext2_creates_cost_less_than_ext3(self):
+        ext2 = Ext2FileSystem(capacity_bytes=2 * GiB)
+        ext3 = Ext3FileSystem(capacity_bytes=2 * GiB)
+        _, ext2_cost = ext2.create("/f", 0.0)
+        _, ext3_cost = ext3.create("/f", 0.0)
+        assert not ext2_cost.device_requests  # no journal
+        assert ext3_cost.device_requests
+
+    def test_journal_modes(self):
+        ordered = Ext3FileSystem(2 * GiB, journal_mode=JournalMode.ORDERED)
+        data_journal = Ext3FileSystem(2 * GiB, journal_mode=JournalMode.JOURNAL)
+        inode_o, _ = ordered.create("/f", 0.0)
+        inode_j, _ = data_journal.create("/f", 0.0)
+        cost_o = ordered.fsync_cost(inode_o, dirty_data_pages=8, now_ns=1.0)
+        cost_j = data_journal.fsync_cost(inode_j, dirty_data_pages=8, now_ns=1.0)
+        logged_o = sum(r.nbytes for r in cost_o.device_requests)
+        logged_j = sum(r.nbytes for r in cost_j.device_requests)
+        assert logged_j >= logged_o
+
+    def test_no_barriers_option(self):
+        fs = Ext3FileSystem(capacity_bytes=2 * GiB, use_barriers=False)
+        _, cost = fs.create("/f", 0.0)
+        assert cost.flushes == 0
+
+
+class TestXfsBehaviour:
+    def test_delayed_allocation_defers_extent_creation(self):
+        fs = XfsFileSystem(capacity_bytes=4 * GiB, delayed_allocation=True)
+        inode, _ = fs.create("/f", 0.0)
+        fs.allocate_range(inode, 0, 32 * MiB, 0.0)
+        assert inode.blocks_allocated() == 0  # reservation only
+        fs.flush_delalloc(inode, 1.0)
+        assert inode.blocks_allocated() == (32 * MiB) // fs.block_size
+
+    def test_read_forces_delayed_allocation(self):
+        fs = XfsFileSystem(capacity_bytes=4 * GiB, delayed_allocation=True)
+        inode, _ = fs.create("/f", 0.0)
+        fs.allocate_range(inode, 0, 8 * MiB, 0.0)
+        requests = fs.map_read(inode, 0, 4)
+        assert requests
+        assert inode.blocks_allocated() > 0
+
+    def test_delayed_allocation_produces_fewer_fragments(self):
+        delayed = XfsFileSystem(capacity_bytes=4 * GiB, delayed_allocation=True)
+        eager = Ext2FileSystem(capacity_bytes=4 * GiB)
+        delayed_inode, _ = delayed.create("/f", 0.0)
+        eager_inode, _ = eager.create("/f", 0.0)
+        # Many small appends, as an application writing a log would do.
+        for chunk in range(64):
+            delayed.allocate_range(delayed_inode, chunk * 256 * 1024, 256 * 1024, 0.0)
+            eager.allocate_range(eager_inode, chunk * 256 * 1024, 256 * 1024, 0.0)
+        delayed.flush_delalloc(delayed_inode, 1.0)
+        assert len(delayed_inode.extents) <= len(eager_inode.extents)
+
+    def test_btree_directories_cheaper_for_huge_directories(self):
+        xfs = XfsFileSystem(capacity_bytes=4 * GiB)
+        ext2 = Ext2FileSystem(capacity_bytes=4 * GiB)
+        for fs in (xfs, ext2):
+            fs.mkdir("/big", 0.0)
+            for index in range(800):
+                fs.create(f"/big/f{index}", 0.0)
+        assert xfs.lookup_cost("/big/f799").cpu_ns < ext2.lookup_cost("/big/f799").cpu_ns
+
+    def test_log_commits_recorded(self):
+        fs = XfsFileSystem(capacity_bytes=2 * GiB)
+        fs.create("/f", 0.0)
+        assert fs.stats.journal_commits >= 1

@@ -1,0 +1,141 @@
+"""Tests for log2-bucket latency histograms."""
+
+import pytest
+
+from repro.core.histogram import (
+    DEFAULT_BUCKETS,
+    LatencyHistogram,
+    bucket_label,
+    bucket_of,
+    from_latencies,
+)
+
+
+class TestBucketing:
+    def test_bucket_of_powers_of_two(self):
+        assert bucket_of(1) == 0
+        assert bucket_of(2) == 1
+        assert bucket_of(1024) == 10
+        assert bucket_of(1023) == 9
+
+    def test_sub_nanosecond_clamped_to_zero(self):
+        assert bucket_of(0.25) == 0
+
+    def test_bucket_labels(self):
+        assert bucket_label(4) == "16ns"
+        assert bucket_label(12) == "4us"
+        assert bucket_label(24) == "17ms"
+        assert bucket_label(31).endswith("s")
+
+
+class TestHistogramFilling:
+    def test_add_and_totals(self):
+        histogram = LatencyHistogram()
+        histogram.add(4_000.0)
+        histogram.add(5_000.0)
+        assert histogram.total == 2
+        assert histogram.mean_ns() == pytest.approx(4_500.0)
+        assert histogram.min_ns == 4_000.0
+        assert histogram.max_ns == 5_000.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().add(-1.0)
+
+    def test_values_beyond_last_bucket_clamped(self):
+        histogram = LatencyHistogram(buckets=8)
+        histogram.add(10 ** 12)
+        assert histogram.counts[7] == 1
+
+    def test_add_many_and_from_latencies(self):
+        histogram = from_latencies([100.0, 200.0, 400.0])
+        assert histogram.total == 3
+
+    def test_empty_histogram_properties(self):
+        histogram = LatencyHistogram()
+        assert histogram.is_empty
+        assert histogram.mean_ns() == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.percentages() == [0.0] * DEFAULT_BUCKETS
+        assert histogram.modes() == []
+        assert histogram.nonzero_range() == (0, 0)
+
+
+class TestHistogramQueries:
+    def test_percentages_sum_to_100(self):
+        histogram = from_latencies([2 ** i for i in range(4, 20)])
+        assert sum(histogram.percentages()) == pytest.approx(100.0)
+
+    def test_percentile_monotonic(self):
+        histogram = from_latencies([100.0] * 50 + [1_000_000.0] * 50)
+        p25 = histogram.percentile(25)
+        p75 = histogram.percentile(75)
+        assert p25 < p75
+        assert histogram.median_ns() <= p75
+
+    def test_percentile_bounds_check(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_merge_combines_counts(self):
+        a = from_latencies([100.0] * 10)
+        b = from_latencies([1_000_000.0] * 30)
+        merged = a.merge(b)
+        assert merged.total == 40
+        assert merged.min_ns == 100.0
+        assert merged.max_ns == 1_000_000.0
+        # Merging must not mutate the inputs.
+        assert a.total == 10 and b.total == 30
+
+    def test_span_orders_of_magnitude(self):
+        histogram = from_latencies([1_000.0, 1_000_000.0])
+        assert histogram.span_orders_of_magnitude() == pytest.approx(3.0)
+
+    def test_nonzero_range(self):
+        histogram = from_latencies([5_000.0, 16_000_000.0])
+        first, last = histogram.nonzero_range()
+        assert first == bucket_of(5_000.0)
+        assert last == bucket_of(16_000_000.0)
+
+
+class TestModes:
+    def test_single_peak(self):
+        histogram = from_latencies([4_000.0 + i for i in range(100)])
+        assert len(histogram.modes()) == 1
+        assert not histogram.is_bimodal()
+
+    def test_two_well_separated_peaks(self):
+        # ~4 us cache hits and ~8 ms disk reads, the Figure 3(b) shape.
+        latencies = [4_000.0] * 500 + [8_000_000.0] * 500
+        histogram = from_latencies(latencies)
+        modes = histogram.modes()
+        assert len(modes) == 2
+        assert histogram.is_bimodal()
+        assert bucket_of(4_000.0) in modes
+        assert bucket_of(8_000_000.0) in modes
+
+    def test_small_peak_below_threshold_ignored(self):
+        latencies = [4_000.0] * 990 + [8_000_000.0] * 10
+        histogram = from_latencies(latencies)
+        assert len(histogram.modes(min_fraction=0.05)) == 1
+
+    def test_adjacent_buckets_collapsed_to_one_peak(self):
+        latencies = [4_000.0] * 500 + [7_000.0] * 400
+        histogram = from_latencies(latencies)
+        assert len(histogram.modes()) == 1
+
+    def test_invalid_min_fraction(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().modes(min_fraction=0.0)
+
+
+class TestRendering:
+    def test_ascii_contains_bars_and_percentages(self):
+        histogram = from_latencies([4_000.0] * 90 + [8_000_000.0] * 10)
+        text = histogram.to_ascii(width=20)
+        assert "#" in text
+        assert "%" in text
+        assert "4us" in text
+
+    def test_repr_mentions_sample_count(self):
+        assert "n=3" in repr(from_latencies([1.0, 2.0, 3.0]))

@@ -1,0 +1,100 @@
+"""Tests for the write-ahead journal."""
+
+import pytest
+
+from repro.fs.journal import Journal, Transaction
+
+
+def make_journal(**kwargs) -> Journal:
+    defaults = dict(start_block=1000, size_blocks=256, block_size=4096)
+    defaults.update(kwargs)
+    return Journal(**defaults)
+
+
+class TestTransaction:
+    def test_duplicate_blocks_collapsed(self):
+        txn = Transaction()
+        txn.add_block(5)
+        txn.add_block(5)
+        txn.add_block(7)
+        assert txn.metadata_blocks == [5, 7]
+
+    def test_logged_blocks_includes_commit_record(self):
+        txn = Transaction()
+        txn.add_block(5)
+        assert txn.logged_blocks == 2
+
+    def test_data_journaling_adds_blocks(self):
+        txn = Transaction(data_blocks=4)
+        txn.add_block(5)
+        assert txn.logged_blocks == 6
+
+
+class TestJournalCommit:
+    def test_commit_produces_sequential_writes_in_journal_region(self):
+        journal = make_journal()
+        txn = Transaction()
+        for block in range(5):
+            txn.add_block(block)
+        requests, barrier = journal.commit(txn)
+        assert barrier is True
+        assert all(r.is_write for r in requests)
+        for request in requests:
+            assert 1000 * 4096 <= request.offset_bytes < (1000 + 256) * 4096
+
+    def test_commit_without_barriers(self):
+        journal = make_journal(use_barriers=False)
+        _, barrier = journal.commit(Transaction(metadata_blocks=[1]))
+        assert barrier is False
+
+    def test_commits_accumulate_stats(self):
+        journal = make_journal()
+        journal.commit(Transaction(metadata_blocks=[1, 2]))
+        journal.commit(Transaction(metadata_blocks=[3]))
+        assert journal.stats.commits == 2
+        assert journal.stats.blocks_logged == 5  # 3 + 2 commit records
+
+    def test_wrap_around_splits_request(self):
+        journal = make_journal(size_blocks=16)
+        # Fill most of the log, then commit something that wraps.
+        journal.commit(Transaction(metadata_blocks=list(range(100, 112))))
+        requests, _ = journal.commit(Transaction(metadata_blocks=list(range(200, 208))))
+        journal_writes = [r for r in requests if r.offset_bytes >= 1000 * 4096]
+        assert len(journal_writes) >= 2
+
+    def test_oversized_transaction_rejected(self):
+        journal = make_journal(size_blocks=8)
+        with pytest.raises(ValueError):
+            journal.commit(Transaction(metadata_blocks=list(range(20))))
+
+    def test_checkpoint_triggered_when_log_fills(self):
+        journal = make_journal(size_blocks=32, checkpoint_threshold=0.5)
+        home_writes = []
+        for round_number in range(10):
+            txn = Transaction(metadata_blocks=[round_number * 4 + i for i in range(4)])
+            requests, _ = journal.commit(txn)
+            home_writes.extend(r for r in requests if r.offset_bytes < 1000 * 4096)
+            if home_writes:
+                break
+        assert home_writes, "expected a checkpoint to write blocks to their home locations"
+        assert journal.stats.checkpoints >= 1
+        assert journal.used_blocks == 0
+
+    def test_force_checkpoint(self):
+        journal = make_journal()
+        journal.commit(Transaction(metadata_blocks=[1, 2, 3]))
+        requests = journal.force_checkpoint()
+        assert len(requests) == 3
+        assert journal.force_checkpoint() == []
+
+    def test_utilization_tracks_pending_blocks(self):
+        journal = make_journal(size_blocks=100, checkpoint_threshold=1.0)
+        assert journal.utilization == 0.0
+        journal.commit(Transaction(metadata_blocks=list(range(10))))
+        assert journal.utilization == pytest.approx(0.1)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Journal(start_block=0, size_blocks=1)
+        with pytest.raises(ValueError):
+            Journal(start_block=0, size_blocks=100, checkpoint_threshold=0.0)

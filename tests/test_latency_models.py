@@ -1,0 +1,118 @@
+"""Tests for the latency/noise distributions."""
+
+import random
+
+import pytest
+
+from repro.storage.latency import (
+    ConstantLatency,
+    LogNormalLatency,
+    MixtureLatency,
+    NormalLatency,
+    UniformLatency,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestConstantLatency:
+    def test_sample_is_constant(self, rng):
+        model = ConstantLatency(1234.0)
+        assert all(model.sample(rng) == 1234.0 for _ in range(10))
+
+    def test_mean(self):
+        assert ConstantLatency(50.0).mean() == 50.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self, rng):
+        model = UniformLatency(100.0, 200.0)
+        for _ in range(200):
+            assert 100.0 <= model.sample(rng) <= 200.0
+
+    def test_mean_is_midpoint(self):
+        assert UniformLatency(100.0, 300.0).mean() == 200.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(200.0, 100.0)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 100.0)
+
+    def test_sample_mean_close_to_analytic(self, rng):
+        model = UniformLatency(0.0, 1000.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples) - 500.0) < 25.0
+
+
+class TestNormalLatency:
+    def test_never_below_floor(self, rng):
+        model = NormalLatency(mean_ns=10.0, stddev_ns=100.0, floor_ns=5.0)
+        assert all(model.sample(rng) >= 5.0 for _ in range(500))
+
+    def test_mean(self):
+        assert NormalLatency(100.0, 10.0).mean() == 100.0
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            NormalLatency(-1.0, 1.0)
+
+
+class TestLogNormalLatency:
+    def test_median_roughly_respected(self, rng):
+        model = LogNormalLatency(median_ns=1000.0, sigma=0.3)
+        samples = sorted(model.sample(rng) for _ in range(3001))
+        median = samples[len(samples) // 2]
+        assert 850.0 <= median <= 1150.0
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        model = LogNormalLatency(median_ns=500.0, sigma=0.0)
+        assert model.sample(rng) == 500.0
+
+    def test_mean_exceeds_median(self):
+        model = LogNormalLatency(median_ns=1000.0, sigma=0.5)
+        assert model.mean() > 1000.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.0)
+        with pytest.raises(ValueError):
+            LogNormalLatency(10.0, sigma=-1.0)
+
+
+class TestMixtureLatency:
+    def test_mean_is_weighted(self):
+        mixture = MixtureLatency(
+            [ConstantLatency(100.0), ConstantLatency(1000.0)], [0.9, 0.1]
+        )
+        assert mixture.mean() == pytest.approx(190.0)
+
+    def test_samples_come_from_components(self, rng):
+        mixture = MixtureLatency(
+            [ConstantLatency(1.0), ConstantLatency(2.0)], [0.5, 0.5]
+        )
+        values = {mixture.sample(rng) for _ in range(100)}
+        assert values == {1.0, 2.0}
+
+    def test_rare_component_appears_at_right_rate(self, rng):
+        mixture = MixtureLatency(
+            [ConstantLatency(1.0), ConstantLatency(1000.0)], [0.99, 0.01]
+        )
+        samples = [mixture.sample(rng) for _ in range(10_000)]
+        rare = sum(1 for s in samples if s == 1000.0)
+        assert 30 <= rare <= 300
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureLatency([ConstantLatency(1.0)], [0.5, 0.5])
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureLatency([ConstantLatency(1.0)], [0.0])

@@ -1,0 +1,135 @@
+"""Tests for result persistence (JSON round-trips)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    FORMAT_NAME,
+    load_repetitions,
+    load_sweep,
+    repetition_set_from_dict,
+    repetition_set_to_dict,
+    run_result_from_dict,
+    run_result_to_dict,
+    save_repetitions,
+    save_sweep,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.core.results import RepetitionSet, SweepResult
+from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
+from repro.storage.config import scaled_testbed
+from repro.workloads.micro import random_read_workload
+from tests.test_results_and_runner import make_run
+
+MiB = 1024 * 1024
+
+
+def small_repetitions(n=3) -> RepetitionSet:
+    repetitions = RepetitionSet(label="unit")
+    for i in range(n):
+        repetitions.add(make_run(100.0 + i, repetition=i, latencies=[1000.0 * (i + 1)] * 5))
+    return repetitions
+
+
+def small_sweep() -> SweepResult:
+    sweep = SweepResult(parameter_name="file_size", unit="bytes")
+    sweep.add(64.0, small_repetitions())
+    sweep.add(128.0, small_repetitions())
+    return sweep
+
+
+class TestDictRoundTrips:
+    def test_run_result_round_trip_preserves_scalars_and_histogram(self):
+        original = make_run(123.0, repetition=2, latencies=[500.0, 900.0, 15_000.0])
+        restored = run_result_from_dict(run_result_to_dict(original))
+        assert restored.throughput_ops_s == original.throughput_ops_s
+        assert restored.repetition == original.repetition
+        assert restored.histogram.total == original.histogram.total
+        assert restored.histogram.mean_ns() == pytest.approx(original.histogram.mean_ns())
+        assert restored.mean_latency_ns == pytest.approx(original.mean_latency_ns)
+
+    def test_repetition_set_round_trip_preserves_summary(self):
+        original = small_repetitions()
+        restored = repetition_set_from_dict(repetition_set_to_dict(original))
+        assert restored.label == original.label
+        assert restored.throughputs() == original.throughputs()
+        assert restored.throughput_summary().mean == pytest.approx(
+            original.throughput_summary().mean
+        )
+
+    def test_sweep_round_trip_preserves_analysis_inputs(self):
+        original = small_sweep()
+        restored = sweep_from_dict(sweep_to_dict(original))
+        assert restored.parameters() == original.parameters()
+        assert restored.mean_throughputs() == original.mean_throughputs()
+        assert restored.fragility() == pytest.approx(original.fragility())
+
+
+class TestFileRoundTrips:
+    def test_save_and_load_repetitions_via_file_object(self):
+        buffer = io.StringIO()
+        save_repetitions(small_repetitions(), buffer)
+        buffer.seek(0)
+        document = json.loads(buffer.getvalue())
+        assert document["format"] == FORMAT_NAME
+        buffer.seek(0)
+        restored = load_repetitions(buffer)
+        assert len(restored) == 3
+
+    def test_save_and_load_sweep_via_path(self, tmp_path):
+        path = str(tmp_path / "sweep.json")
+        save_sweep(small_sweep(), path)
+        restored = load_sweep(path)
+        assert restored.parameters() == [64.0, 128.0]
+
+    def test_wrong_kind_rejected(self):
+        buffer = io.StringIO()
+        save_sweep(small_sweep(), buffer)
+        buffer.seek(0)
+        with pytest.raises(ValueError):
+            load_repetitions(buffer)
+
+    def test_wrong_format_rejected(self):
+        buffer = io.StringIO(json.dumps({"format": "something-else", "data": {}}))
+        with pytest.raises(ValueError):
+            load_sweep(buffer)
+
+    def test_newer_version_rejected(self):
+        buffer = io.StringIO(
+            json.dumps({"format": FORMAT_NAME, "version": 999, "kind": "sweep", "data": {}})
+        )
+        with pytest.raises(ValueError):
+            load_sweep(buffer)
+
+
+class TestEndToEndPersistence:
+    def test_real_benchmark_result_survives_a_round_trip(self, tmp_path):
+        """A measured repetition set can be archived and re-analysed identically."""
+        config = BenchmarkConfig(
+            duration_s=0.5,
+            repetitions=2,
+            warmup_mode=WarmupMode.PREWARM,
+            interval_s=0.25,
+            histogram_interval_s=0.25,
+            collect_raw_latencies=True,
+            noise=EnvironmentNoise(enabled=False),
+        )
+        runner = BenchmarkRunner("ext2", testbed=scaled_testbed(1.0 / 16.0), config=config)
+        measured = runner.run(random_read_workload(2 * MiB))
+
+        path = str(tmp_path / "results.json")
+        save_repetitions(measured, path)
+        restored = load_repetitions(path)
+
+        assert restored.throughputs() == measured.throughputs()
+        original_run = measured.first()
+        restored_run = restored.first()
+        assert restored_run.operations == original_run.operations
+        assert restored_run.timeline.throughputs() == original_run.timeline.throughputs()
+        assert restored_run.histogram_timeline is not None
+        assert len(restored_run.histogram_timeline) == len(original_run.histogram_timeline)
+        assert restored_run.raw_latencies_ns == original_run.raw_latencies_ns
+        assert restored_run.environment == original_run.environment

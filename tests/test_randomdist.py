@@ -1,0 +1,97 @@
+"""Tests for the workload random distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads.randomdist import (
+    ChoiceDistribution,
+    FixedValue,
+    LogNormalSizes,
+    UniformSizes,
+    UniformSelector,
+    ZipfSelector,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(21)
+
+
+class TestSizeDistributions:
+    def test_fixed_value(self, rng):
+        dist = FixedValue(4096)
+        assert dist.sample(rng) == 4096
+        assert dist.mean() == 4096
+        with pytest.raises(ValueError):
+            FixedValue(-1)
+
+    def test_uniform_sizes_within_bounds_and_granular(self, rng):
+        dist = UniformSizes(1024, 8192, granularity=1024)
+        for _ in range(200):
+            value = dist.sample(rng)
+            assert 1024 <= value <= 8192
+            assert value % 1024 == 0
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ValueError):
+            UniformSizes(100, 50)
+
+    def test_lognormal_clamped(self, rng):
+        dist = LogNormalSizes(median=8192, sigma=2.0, low=1024, high=64 * 1024)
+        for _ in range(300):
+            assert 1024 <= dist.sample(rng) <= 64 * 1024
+
+    def test_lognormal_median_approximately_right(self, rng):
+        dist = LogNormalSizes(median=10_000, sigma=0.5)
+        samples = sorted(dist.sample(rng) for _ in range(2001))
+        assert 8_000 <= samples[1000] <= 12_500
+
+    def test_lognormal_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormalSizes(median=0)
+
+
+class TestSelectors:
+    def test_uniform_selector_covers_range(self, rng):
+        selector = UniformSelector()
+        picks = {selector.pick(10, rng) for _ in range(500)}
+        assert picks == set(range(10))
+
+    def test_uniform_selector_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            UniformSelector().pick(0, rng)
+
+    def test_zipf_prefers_low_indices(self, rng):
+        selector = ZipfSelector(alpha=1.2)
+        picks = [selector.pick(100, rng) for _ in range(3000)]
+        first_ten = sum(1 for p in picks if p < 10)
+        assert first_ten > len(picks) * 0.5
+
+    def test_zipf_all_indices_possible(self, rng):
+        selector = ZipfSelector(alpha=0.5)
+        picks = {selector.pick(5, rng) for _ in range(2000)}
+        assert picks == set(range(5))
+
+    def test_zipf_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ZipfSelector(alpha=0)
+
+
+class TestChoiceDistribution:
+    def test_weights_respected(self, rng):
+        dist = ChoiceDistribution(["a", "b"], [0.9, 0.1])
+        picks = [dist.pick(rng) for _ in range(2000)]
+        assert picks.count("a") > picks.count("b") * 3
+
+    def test_single_item(self, rng):
+        assert ChoiceDistribution(["only"], [1.0]).pick(rng) == "only"
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ChoiceDistribution([], [])
+        with pytest.raises(ValueError):
+            ChoiceDistribution(["a"], [0.0])
+        with pytest.raises(ValueError):
+            ChoiceDistribution(["a", "b"], [1.0])

@@ -1,0 +1,117 @@
+"""Tests for readahead policies and cluster reads."""
+
+import pytest
+
+from repro.storage.readahead import (
+    AGGRESSIVE_READAHEAD,
+    DEFAULT_READAHEAD,
+    NO_READAHEAD,
+    ReadaheadPolicy,
+    ReadaheadState,
+    cluster_range,
+)
+
+
+class TestReadaheadPolicy:
+    def test_default_policy_valid(self):
+        DEFAULT_READAHEAD.validate()
+        AGGRESSIVE_READAHEAD.validate()
+        NO_READAHEAD.validate()
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            ReadaheadPolicy(initial_window_pages=0).validate()
+        with pytest.raises(ValueError):
+            ReadaheadPolicy(initial_window_pages=8, max_window_pages=4).validate()
+        with pytest.raises(ValueError):
+            ReadaheadPolicy(sequential_threshold=0).validate()
+
+
+class TestSequentialDetection:
+    def test_disabled_policy_never_prefetches(self):
+        state = ReadaheadState(NO_READAHEAD)
+        for page in range(10):
+            assert state.advise(page, 1, 1000) == (0, 0)
+
+    def test_random_access_never_prefetches(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        offsets = [50, 3, 700, 20, 999, 123, 456]
+        results = [state.advise(page, 1, 2000) for page in offsets]
+        assert all(result == (0, 0) for result in results)
+
+    def test_sequential_stream_triggers_readahead(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        results = [state.advise(page, 1, 10_000) for page in range(10)]
+        assert any(count > 0 for _, count in results)
+
+    def test_window_grows_exponentially_up_to_max(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        windows = []
+        for page in range(0, 200, 2):
+            state.advise(page, 2, 100_000)
+            windows.append(state.window_pages)
+        assert max(windows) == DEFAULT_READAHEAD.max_window_pages
+        assert windows[-1] == DEFAULT_READAHEAD.max_window_pages
+
+    def test_readahead_clamped_at_end_of_file(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        file_pages = 10
+        last = (0, 0)
+        for page in range(file_pages):
+            last = state.advise(page, 1, file_pages)
+        start, count = last
+        assert start + count <= file_pages
+
+    def test_seek_resets_stream(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        for page in range(8):
+            state.advise(page, 1, 10_000)
+        assert state.window_pages > 0
+        state.advise(5000, 1, 10_000)  # a seek
+        assert state.window_pages == 0
+
+    def test_explicit_reset(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        for page in range(8):
+            state.advise(page, 1, 10_000)
+        state.reset()
+        assert state.window_pages == 0
+        assert state.sequential_streak == 0
+
+    def test_invalid_page_count_rejected(self):
+        state = ReadaheadState(DEFAULT_READAHEAD)
+        with pytest.raises(ValueError):
+            state.advise(0, 0, 100)
+
+    def test_aggressive_policy_prefetches_sooner(self):
+        default_state = ReadaheadState(DEFAULT_READAHEAD)
+        aggressive_state = ReadaheadState(AGGRESSIVE_READAHEAD)
+        default_first = next(
+            (i for i in range(10) if default_state.advise(i, 1, 10_000)[1] > 0), None
+        )
+        aggressive_first = next(
+            (i for i in range(10) if aggressive_state.advise(i, 1, 10_000)[1] > 0), None
+        )
+        assert aggressive_first is not None
+        assert default_first is None or aggressive_first <= default_first
+
+
+class TestClusterRange:
+    def test_cluster_aligned(self):
+        assert cluster_range(5, 4, 100) == (4, 4)
+        assert cluster_range(0, 4, 100) == (0, 4)
+        assert cluster_range(7, 4, 100) == (4, 4)
+
+    def test_cluster_clamped_at_eof(self):
+        assert cluster_range(9, 4, 10) == (8, 2)
+
+    def test_cluster_of_one_page(self):
+        assert cluster_range(3, 1, 10) == (3, 1)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_range(0, 0, 10)
+        with pytest.raises(ValueError):
+            cluster_range(10, 4, 10)
+        with pytest.raises(ValueError):
+            cluster_range(-1, 4, 10)

@@ -1,0 +1,76 @@
+"""Tests for stack construction."""
+
+import pytest
+
+from repro.fs.ext2 import Ext2FileSystem
+from repro.fs.stack import FS_REGISTRY, StorageStack, build_stack
+from repro.storage.cache import CachePolicy
+from repro.storage.config import scaled_testbed
+
+MiB = 1024 * 1024
+
+
+class TestBuildStack:
+    def test_registry_contains_the_three_case_study_filesystems(self):
+        assert set(FS_REGISTRY) == {"ext2", "ext3", "xfs"}
+
+    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "xfs"])
+    def test_builds_each_filesystem(self, fs_type):
+        stack = build_stack(fs_type, testbed=scaled_testbed(1.0 / 16.0))
+        assert stack.fs_name == fs_type
+        assert stack.cache.capacity_pages == stack.testbed.page_cache_pages
+        assert stack.device.capacity_bytes == stack.fs.capacity_bytes
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(ValueError):
+            build_stack("zfs")
+
+    def test_custom_fs_factory(self):
+        stack = build_stack(
+            fs_factory=lambda capacity, block: Ext2FileSystem(capacity, block, blocks_per_group=8192),
+            testbed=scaled_testbed(1.0 / 16.0),
+        )
+        assert isinstance(stack.fs, Ext2FileSystem)
+
+    def test_same_seed_same_behaviour(self):
+        def run(seed):
+            stack = build_stack("ext2", testbed=scaled_testbed(1.0 / 16.0), seed=seed)
+            vfs = stack.vfs
+            vfs.create("/f")
+            fd = vfs.open("/f")
+            vfs.fallocate(fd, 4 * MiB, charge_time=False)
+            return [vfs.read(fd, 8192, offset=(i * 37 % 500) * 8192) for i in range(50)]
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_cache_policy_from_testbed(self):
+        testbed = scaled_testbed(1.0 / 16.0).with_cache_policy(CachePolicy.ARC)
+        stack = build_stack("ext2", testbed=testbed)
+        assert stack.cache.policy_name == CachePolicy.ARC
+
+    def test_describe_mentions_fs_and_testbed(self):
+        stack = build_stack("xfs", testbed=scaled_testbed(1.0 / 16.0))
+        assert "xfs" in stack.describe()
+
+    def test_reset_statistics(self):
+        stack = build_stack("ext2", testbed=scaled_testbed(1.0 / 16.0))
+        vfs = stack.vfs
+        vfs.create("/f")
+        fd = vfs.open("/f")
+        vfs.fallocate(fd, 1 * MiB, charge_time=False)
+        vfs.read(fd, 8192, offset=0)
+        stack.reset_statistics()
+        assert stack.cache.stats.accesses == 0
+        assert stack.device.stats.requests == 0
+        assert stack.vfs.stats.reads == 0
+
+    def test_drop_caches_leaves_clean_empty_cache(self):
+        stack = build_stack("ext2", testbed=scaled_testbed(1.0 / 16.0))
+        vfs = stack.vfs
+        vfs.create("/f")
+        fd = vfs.open("/f")
+        vfs.write(fd, 64 * 1024, offset=0)
+        stack.drop_caches()
+        assert len(stack.cache) == 0
+        assert stack.cache.dirty_pages == 0

@@ -1,0 +1,138 @@
+"""Tests for the interval throughput series and histogram timelines."""
+
+import pytest
+
+from repro.core.histogram import bucket_of
+from repro.core.timeline import HistogramTimeline, IntervalSeries
+
+
+class TestIntervalSeries:
+    def test_records_land_in_the_right_interval(self):
+        series = IntervalSeries(interval_s=10.0)
+        series.record(5e9, 1000.0, bytes_moved=4096)
+        series.record(15e9, 1000.0, bytes_moved=4096)
+        series.record(16e9, 1000.0, bytes_moved=4096)
+        samples = series.samples()
+        assert samples[0].operations == 1
+        assert samples[1].operations == 2
+
+    def test_throughput_per_interval(self):
+        series = IntervalSeries(interval_s=10.0)
+        for i in range(100):
+            series.record(i * 1e8, 500.0)  # all within the first 10 s
+        assert series.throughputs()[0] == pytest.approx(10.0)
+
+    def test_origin_offsets_interval_zero(self):
+        series = IntervalSeries(interval_s=10.0, origin_ns=100e9)
+        series.record(105e9, 1.0)
+        assert len(series) == 1
+        assert series.samples()[0].start_s == pytest.approx(100.0)
+
+    def test_gaps_create_empty_intervals(self):
+        series = IntervalSeries(interval_s=1.0)
+        series.record(0.5e9, 1.0)
+        series.record(5.5e9, 1.0)
+        assert len(series) == 6
+        assert series.throughputs()[2] == 0.0
+
+    def test_bandwidth_and_latency_per_interval(self):
+        series = IntervalSeries(interval_s=1.0)
+        series.record(0.1e9, 2000.0, bytes_moved=1024 * 1024)
+        sample = series.samples()[0]
+        assert sample.bandwidth_mb_s == pytest.approx(1.0)
+        assert sample.mean_latency_ns == 2000.0
+
+    def test_spread_quantifies_warmup(self):
+        series = IntervalSeries(interval_s=1.0)
+        # 10 ops in the first second, 100 in the second: spread 10x.
+        for i in range(10):
+            series.record(0.05e9 * (i + 1), 1.0)
+        for i in range(100):
+            series.record(1e9 + 0.005e9 * (i + 1), 1.0)
+        assert series.spread() == pytest.approx(10.0)
+
+    def test_spread_of_flat_series_is_one(self):
+        series = IntervalSeries(interval_s=1.0)
+        for second in range(5):
+            for i in range(10):
+                series.record(second * 1e9 + i * 1e7 + 1, 1.0)
+        assert series.spread() == pytest.approx(1.0)
+
+    def test_tail(self):
+        series = IntervalSeries(interval_s=1.0)
+        for second in range(10):
+            series.record(second * 1e9 + 1, 1.0)
+        assert len(series.tail(3)) == 3
+        with pytest.raises(ValueError):
+            series.tail(0)
+
+    def test_total_operations(self):
+        series = IntervalSeries(interval_s=1.0)
+        for i in range(25):
+            series.record(i * 1e8, 1.0)
+        assert series.total_operations() == 25
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSeries(interval_s=0)
+
+    def test_throughput_series_pairs(self):
+        series = IntervalSeries(interval_s=2.0)
+        series.record(1e9, 1.0)
+        pairs = series.throughput_series()
+        assert pairs[0][0] == pytest.approx(2.0)
+        assert pairs[0][1] == pytest.approx(0.5)
+
+
+class TestHistogramTimeline:
+    def test_each_interval_gets_its_own_histogram(self):
+        timeline = HistogramTimeline(interval_s=10.0)
+        timeline.record(1e9, 4000.0)
+        timeline.record(11e9, 8_000_000.0)
+        assert len(timeline) == 2
+        assert timeline.histogram_at(0).total == 1
+        assert timeline.histogram_at(1).total == 1
+
+    def test_surface_rows_are_percentages(self):
+        timeline = HistogramTimeline(interval_s=1.0)
+        for i in range(9):
+            timeline.record(0.1e9 * (i + 1), 4000.0)
+        surface = timeline.surface()
+        assert len(surface) == 1
+        assert sum(surface[0]) == pytest.approx(100.0)
+
+    def test_figure4_style_migration(self):
+        """Disk peak early, memory peak late; bi-modal in the middle."""
+        timeline = HistogramTimeline(interval_s=10.0)
+        # Interval 0: all disk; interval 1: half and half; interval 2: all memory.
+        for i in range(100):
+            timeline.record(5e9, 8_000_000.0)
+        for i in range(50):
+            timeline.record(15e9, 8_000_000.0)
+            timeline.record(15e9, 4_000.0)
+        for i in range(100):
+            timeline.record(25e9, 4_000.0)
+        modes = timeline.modes_over_time()
+        assert bucket_of(8_000_000.0) in modes[0]
+        assert len(modes[1]) == 2
+        assert modes[2] == [bucket_of(4_000.0)]
+        assert 0.0 < timeline.bimodal_fraction() < 1.0
+
+    def test_merged_equals_sum_of_intervals(self):
+        timeline = HistogramTimeline(interval_s=1.0)
+        for i in range(30):
+            timeline.record(i * 2e8, 1000.0 * (i + 1))
+        merged = timeline.merged()
+        assert merged.total == 30
+
+    def test_interval_times(self):
+        timeline = HistogramTimeline(interval_s=10.0)
+        timeline.record(25e9, 1.0)
+        assert timeline.interval_times_s() == [10.0, 20.0, 30.0]
+
+    def test_empty_timeline_bimodal_fraction_zero(self):
+        assert HistogramTimeline().bimodal_fraction() == 0.0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            HistogramTimeline(interval_s=-1.0)
