@@ -1,4 +1,47 @@
-"""Setup shim for environments that install via the legacy setuptools path."""
-from setuptools import setup
+"""Packaging for the fsbench-rocket reproduction.
 
-setup()
+``pip install -e .`` makes the ``repro`` package importable without
+``PYTHONPATH=src`` and installs the ``fsbench-rocket`` console command.
+"""
+
+import os
+
+from setuptools import find_packages, setup
+
+
+def _long_description() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()
+    return ""
+
+
+setup(
+    name="fsbench-rocket",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Benchmarking File System Benchmarking: It *IS* Rocket Science' "
+        "(HotOS XIII): a simulated storage stack, the paper's measurement protocol, "
+        "and a parallel multi-dimensional benchmark survey engine."
+    ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    python_requires=">=3.8",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={
+        "console_scripts": [
+            "fsbench-rocket = repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Topic :: System :: Benchmark",
+        "Topic :: System :: Filesystems",
+    ],
+)

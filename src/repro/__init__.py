@@ -7,7 +7,9 @@ Python library:
 * :mod:`repro.core` -- the benchmarking methodology the paper calls for:
   dimension taxonomy, nano-benchmark suite, statistically honest runners,
   latency histograms, timelines, steady-state detection, self-scaling sweeps,
-  range-based reporting and the Table-1 survey database.
+  range-based reporting, the Table-1 survey database and its measured
+  counterpart, and the parallel executor + persistent result cache that
+  fan surveys out over processes with bit-identical results.
 * :mod:`repro.storage` -- the simulated storage substrate (virtual clock,
   disk/SSD models, page cache, readahead, block layer).
 * :mod:`repro.fs` -- behavioural Ext2/Ext3/XFS models and the VFS gluing the
@@ -35,9 +37,12 @@ from repro.core import (
     Dimension,
     DimensionVector,
     LatencyHistogram,
+    MeasuredSurvey,
     NanoBenchmark,
     NanoBenchmarkSuite,
+    ParallelExecutor,
     RepetitionSet,
+    ResultCache,
     RunResult,
     SelfScalingBenchmark,
     SummaryStatistics,
@@ -46,6 +51,7 @@ from repro.core import (
     WarmupMode,
     default_suite,
     load_paper_survey,
+    run_single_repetition,
     summarize,
 )
 from repro.fs import build_stack, StorageStack
@@ -78,6 +84,10 @@ __all__ = [
     "default_suite",
     "load_paper_survey",
     "summarize",
+    "MeasuredSurvey",
+    "ParallelExecutor",
+    "ResultCache",
+    "run_single_repetition",
     "build_stack",
     "StorageStack",
     "paper_testbed",

@@ -6,6 +6,13 @@ Examples::
     fsbench-rocket figure1 --fs ext2
     fsbench-rocket figure2 --paper-scale
     fsbench-rocket suite --quick --fs ext2 --fs xfs
+    fsbench-rocket suite --workers 4 --cache-dir ~/.cache/fsbench-rocket
+    fsbench-rocket survey --quick --workers 0
+
+``--workers`` fans the (benchmark x file system x repetition) grid out over
+worker processes (``0`` = one per CPU) with bit-identical results;
+``--cache-dir`` persists every measured cell so repeated runs only simulate
+what has never been measured before (``--no-cache`` overrides it).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import List, Optional
 
 from repro.core.report import suite_report
 from repro.core.suite import NanoBenchmarkSuite
+from repro.core.survey import MeasuredSurvey
 from repro.experiments import (
     default_scale,
     paper_scale,
@@ -27,6 +35,14 @@ from repro.experiments import (
     run_transition_zoom,
 )
 from repro.storage.config import paper_testbed, scaled_testbed
+
+
+def _nonnegative_int(value: str) -> int:
+    """argparse type for --workers: an int >= 0 (0 = one worker per CPU)."""
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0 (0 means one worker per CPU)")
+    return number
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,15 +77,40 @@ def _build_parser() -> argparse.ArgumentParser:
             )
 
     suite = subparsers.add_parser("suite", help="run the multi-dimensional nano-benchmark suite")
-    suite.add_argument("--fs", action="append", choices=("ext2", "ext3", "xfs"))
-    suite.add_argument("--quick", action="store_true", help="smaller filesets and fewer repetitions")
-    suite.add_argument(
-        "--scaled-testbed",
-        type=float,
-        default=None,
-        metavar="FRACTION",
-        help="shrink the simulated machine by this factor (e.g. 0.125) for quick runs",
+    survey = subparsers.add_parser(
+        "survey",
+        help="measure every evaluation dimension across file systems (Table 1's executable counterpart)",
     )
+    for sub in (suite, survey):
+        sub.add_argument("--fs", action="append", choices=("ext2", "ext3", "xfs"))
+        sub.add_argument(
+            "--quick", action="store_true", help="smaller filesets and fewer repetitions"
+        )
+        sub.add_argument(
+            "--scaled-testbed",
+            type=float,
+            default=None,
+            metavar="FRACTION",
+            help="shrink the simulated machine by this factor (e.g. 0.125) for quick runs",
+        )
+        sub.add_argument(
+            "--workers",
+            type=_nonnegative_int,
+            default=1,
+            metavar="N",
+            help="worker processes for the repetition fan-out (0 = one per CPU; default 1, serial)",
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="persist measured cells here and skip them on re-runs (default: no cache)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="ignore --cache-dir and measure everything fresh",
+        )
     return parser
 
 
@@ -98,12 +139,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "zoom":
         print(run_transition_zoom(fs_type=args.fs, scale=scale).render())
         return 0
-    if args.command == "suite":
+    if args.command in ("suite", "survey"):
         fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
         testbed = (
             scaled_testbed(args.scaled_testbed) if args.scaled_testbed else paper_testbed()
         )
-        suite = NanoBenchmarkSuite(testbed=testbed, quick=args.quick)
+        cache_dir = None if args.no_cache else args.cache_dir
+        if args.command == "survey":
+            survey = MeasuredSurvey(
+                testbed=testbed, quick=args.quick, n_workers=args.workers, cache_dir=cache_dir
+            )
+            print(survey.run(fs_types).render())
+            return 0
+        suite = NanoBenchmarkSuite(
+            testbed=testbed, quick=args.quick, n_workers=args.workers, cache_dir=cache_dir
+        )
         print(suite_report(suite.run(fs_types)))
         return 0
     parser.error(f"unknown command {args.command!r}")

@@ -17,6 +17,8 @@ subpackage is that methodology as a library:
 * :mod:`repro.core.results` -- run/repetition/sweep result containers.
 * :mod:`repro.core.runner` -- the measurement protocol: repetitions,
   cache-state control, environment-noise injection, interval sampling.
+* :mod:`repro.core.parallel` -- process-pool fan-out over repetitions and the
+  persistent result cache (bit-identical to serial execution).
 * :mod:`repro.core.benchmark`, :mod:`repro.core.suite` -- nano-benchmarks and
   the multi-dimensional suite the paper calls for.
 * :mod:`repro.core.selfscaling` -- self-scaling parameter sweeps that locate
@@ -29,12 +31,29 @@ from repro.core.dimensions import Coverage, Dimension, DimensionVector
 from repro.core.histogram import LatencyHistogram, bucket_label
 from repro.core.persistence import (
     load_repetitions,
+    load_run_result,
     load_sweep,
     save_repetitions,
+    save_run_result,
     save_sweep,
 )
-from repro.core.results import RepetitionSet, RunResult, SweepResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
+from repro.core.results import RepetitionSet, RunResult, SweepResult, merge_repetition_sets
+from repro.core.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    EnvironmentNoise,
+    WarmupMode,
+    run_single_repetition,
+)
+from repro.core.parallel import (
+    CacheStats,
+    ParallelExecutor,
+    ResultCache,
+    WorkUnit,
+    benchmark_units,
+    cache_key,
+    execute_unit,
+)
 from repro.core.stats import (
     SummaryStatistics,
     bimodality_coefficient,
@@ -52,7 +71,13 @@ from repro.core.benchmark import NanoBenchmark
 from repro.core.suite import NanoBenchmarkSuite, SuiteResult, default_suite
 from repro.core.selfscaling import SelfScalingBenchmark, SelfScalingResult
 from repro.core.report import ReportBuilder, ascii_plot, format_table
-from repro.core.survey import BenchmarkEntry, SurveyDatabase, load_paper_survey
+from repro.core.survey import (
+    BenchmarkEntry,
+    MeasuredSurvey,
+    MeasuredSurveyResult,
+    SurveyDatabase,
+    load_paper_survey,
+)
 
 __all__ = [
     "Coverage",
@@ -95,6 +120,19 @@ __all__ = [
     "ascii_plot",
     "format_table",
     "BenchmarkEntry",
+    "MeasuredSurvey",
+    "MeasuredSurveyResult",
     "SurveyDatabase",
     "load_paper_survey",
+    "load_run_result",
+    "save_run_result",
+    "merge_repetition_sets",
+    "run_single_repetition",
+    "CacheStats",
+    "ParallelExecutor",
+    "ResultCache",
+    "WorkUnit",
+    "benchmark_units",
+    "cache_key",
+    "execute_unit",
 ]

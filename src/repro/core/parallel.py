@@ -1,0 +1,361 @@
+"""Parallel survey execution: process fan-out plus a persistent result cache.
+
+The measurement protocol makes a full survey -- every benchmark on every file
+system, repeated many times -- embarrassingly parallel: each repetition is a
+pure function of ``(file system, workload spec, testbed, protocol, seed)``,
+because the runner derives *all* randomness (stack, workload, environmental
+noise) from ``config.seed + repetition``.  This module exploits that purity
+twice:
+
+* :class:`ParallelExecutor` fans repetitions out over a process pool.  The
+  determinism guarantee is strict: a parallel run produces results
+  **bit-identical** to a serial run of the same work units, because workers
+  receive the exact seeds the serial loop would have used and no state is
+  shared between repetitions.  ``n_workers=1`` (the default) runs in-process
+  with no pool at all, so the serial path stays the trivially obvious one.
+
+* :class:`ResultCache` persists finished repetitions keyed by
+  :func:`cache_key`, a stable SHA-256 over the canonicalised
+  ``(workload spec, testbed config, benchmark config, seed)`` tuple.
+  Re-running a survey or suite skips every cell that has already been
+  measured anywhere the cache directory is shared.  Because the key hashes
+  the *inputs* of the pure function, a hit is exactly as trustworthy as a
+  fresh measurement.
+
+The work unit is one *repetition*, not one benchmark: that is the finest
+grain at which the protocol is pure, and it keeps the pool busy even when a
+survey has few (benchmark x file system) cells but many repetitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.persistence import load_run_result, save_run_result
+from repro.core.results import RepetitionSet, RunResult
+from repro.core.runner import BenchmarkConfig, run_single_repetition
+from repro.storage.config import TestbedConfig, paper_testbed
+from repro.workloads.spec import WorkloadSpec
+
+#: Bump when the simulation's physics change incompatibly, so stale caches
+#: from older code cannot satisfy new runs.
+CACHE_FORMAT_VERSION = 1
+
+
+# ------------------------------------------------------------------ hashing
+def _canonical(value):
+    """Reduce a config object to a JSON-stable structure for hashing.
+
+    Dataclasses and plain objects become ``{"__kind__": <class>, ...fields}``
+    dictionaries, enums their values, containers their canonicalised
+    elements.  Two configurations hash equal iff this structure is equal, so
+    anything that can change a measurement must surface here; unknown objects
+    fall back to ``repr`` rather than being silently dropped.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: _canonical(getattr(value, f.name)) for f in dataclasses.fields(value)}
+        return {"__kind__": type(value).__name__, **fields}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if hasattr(value, "__dict__"):
+        fields = {key: _canonical(item) for key, item in sorted(vars(value).items())}
+        return {"__kind__": type(value).__name__, **fields}
+    return repr(value)
+
+
+def cache_key(
+    fs_type: str,
+    spec: WorkloadSpec,
+    config: BenchmarkConfig,
+    seed: int,
+    testbed: Optional[TestbedConfig] = None,
+) -> str:
+    """Stable identity of one measured repetition.
+
+    The key covers everything the measurement depends on: the file system,
+    the full workload spec, the testbed, the protocol parameters and the
+    *effective* seed of the repetition.  ``config.seed`` and
+    ``config.repetitions`` are deliberately normalised out -- the runner uses
+    ``config.seed + repetition`` for every random source, so repetition 1 of
+    a seed-42 run and repetition 0 of a seed-43 run are the same measurement
+    and share a cache entry.
+    """
+    payload = {
+        "cache_format": CACHE_FORMAT_VERSION,
+        "fs_type": fs_type,
+        "spec": _canonical(spec),
+        "testbed": _canonical(testbed if testbed is not None else paper_testbed()),
+        "config": _canonical(replace(config, seed=0, repetitions=1)),
+        "seed": int(seed),
+    }
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------- work units
+@dataclass
+class WorkUnit:
+    """One repetition of one benchmark configuration: the unit of fan-out.
+
+    Attributes
+    ----------
+    fs_type:
+        File system to mount for this repetition.
+    spec:
+        The workload description (must be picklable; all shipped specs are).
+    config:
+        Measurement protocol.  The unit runs repetition ``repetition`` of
+        this config, i.e. with effective seed ``config.seed + repetition``.
+    repetition:
+        Zero-based repetition index.
+    testbed:
+        Simulated machine; ``None`` means the paper's testbed.
+    group:
+        Label of the :class:`RepetitionSet` this unit belongs to; units with
+        the same group are reassembled into one set by
+        :meth:`ParallelExecutor.run_repetition_sets`.
+    """
+
+    fs_type: str
+    spec: WorkloadSpec
+    config: BenchmarkConfig
+    repetition: int = 0
+    testbed: Optional[TestbedConfig] = None
+    group: str = ""
+
+    @property
+    def seed(self) -> int:
+        """The effective seed the runner will use for this repetition."""
+        return self.config.seed + self.repetition
+
+    def key(self) -> str:
+        """Cache key of this unit (see :func:`cache_key`)."""
+        return cache_key(self.fs_type, self.spec, self.config, self.seed, self.testbed)
+
+
+def execute_unit(unit: WorkUnit) -> RunResult:
+    """Run one work unit to completion.  Pure and picklable: this is the
+    function shipped to pool workers."""
+    return run_single_repetition(
+        fs_type=unit.fs_type,
+        spec=unit.spec,
+        repetition=unit.repetition,
+        testbed=unit.testbed,
+        config=unit.config,
+    )
+
+
+def group_label(benchmark_name: str, fs_type: str) -> str:
+    """Label of the repetition set for one (benchmark, file system) cell.
+
+    The single definition shared by unit expansion and result reassembly,
+    matching the label the serial ``NanoBenchmark.run`` method uses.
+    """
+    return f"{benchmark_name}@{fs_type}"
+
+
+def benchmark_units(
+    benchmark,
+    fs_type: str,
+    testbed: Optional[TestbedConfig] = None,
+    config: Optional[BenchmarkConfig] = None,
+) -> List[WorkUnit]:
+    """Expand one :class:`~repro.core.benchmark.NanoBenchmark` on one file
+    system into its per-repetition work units.
+
+    The spec is built once and shared by every repetition, exactly like the
+    serial loop in ``BenchmarkRunner.run`` (the runner never mutates it), so
+    even a workload factory with construction-time randomness keeps the
+    serial contract and one cache identity per cell.  Factories are not
+    picklable; the spec is, which is why units carry the spec itself.
+    """
+    effective = config or benchmark.config or BenchmarkConfig()
+    effective.validate()  # fail here with a clear error, not per-unit in a worker
+    spec = benchmark.build_workload()
+    return [
+        WorkUnit(
+            fs_type=fs_type,
+            spec=spec,
+            config=effective,
+            repetition=repetition,
+            testbed=testbed,
+            group=group_label(benchmark.name, fs_type),
+        )
+        for repetition in range(effective.repetitions)
+    ]
+
+
+# -------------------------------------------------------------- result cache
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+class ResultCache:
+    """Persistent cache of finished repetitions, one JSON file per cell.
+
+    Entries live at ``<cache_dir>/<key[:2]>/<key>.json`` in the standard
+    result format (:mod:`repro.core.persistence`), so a cache doubles as an
+    archive: any entry can be loaded and analysed directly.  Corrupt or
+    unreadable entries are treated as misses, never as errors.
+    """
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = str(cache_dir)
+        self.stats = CacheStats()
+        os.makedirs(self.cache_dir, exist_ok=True)
+
+    def path_for(self, key: str) -> str:
+        """Filesystem path of the entry for ``key``."""
+        return os.path.join(self.cache_dir, key[:2], f"{key}.json")
+
+    def get(self, key: str) -> Optional[RunResult]:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            run = load_run_result(path)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return run
+
+    def put(self, key: str, run: RunResult) -> None:
+        """Store ``run`` under ``key`` (atomic: write-temp-then-rename)."""
+        path = self.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                save_run_result(run, handle)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for directory, _, files in os.walk(self.cache_dir):
+            for name in files:
+                if name.endswith(".json"):
+                    os.unlink(os.path.join(directory, name))
+                    removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for _, _, files in os.walk(self.cache_dir)
+            for name in files
+            if name.endswith(".json")
+        )
+
+
+# ----------------------------------------------------------------- executor
+class ParallelExecutor:
+    """Runs work units across processes, with optional result caching.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker processes.  ``1`` (the default) executes in-process with no
+        pool; ``None`` or ``0`` means one worker per CPU.
+    cache:
+        Optional :class:`ResultCache`.  Hits skip execution entirely; every
+        fresh result is stored on completion.
+
+    Determinism: results are returned in work-unit order and each unit's
+    randomness is fully determined by its own seed, so the output is
+    bit-identical for any worker count (and for any mix of cache hits and
+    fresh executions).
+    """
+
+    def __init__(self, n_workers: Optional[int] = 1, cache: Optional[ResultCache] = None) -> None:
+        if n_workers is None or n_workers == 0:
+            n_workers = os.cpu_count() or 1
+        if n_workers < 0:
+            raise ValueError("n_workers must be None or >= 0")
+        self.n_workers = n_workers
+        self.cache = cache
+
+    # ------------------------------------------------------------ execution
+    def run_units(self, units: Sequence[WorkUnit]) -> List[RunResult]:
+        """Execute every unit (or fetch it from cache); results in unit order."""
+        units = list(units)
+        results: List[Optional[RunResult]] = [None] * len(units)
+
+        pending: List[int] = []
+        keys: Dict[int, str] = {}
+        for index, unit in enumerate(units):
+            if self.cache is not None:
+                keys[index] = unit.key()
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    # The measurement depends only on the effective seed; the
+                    # repetition index is bookkeeping relative to *this* run.
+                    cached.repetition = unit.repetition
+                    results[index] = cached
+                    continue
+            pending.append(index)
+
+        for index, run in zip(pending, self._execute([units[i] for i in pending])):
+            if self.cache is not None:
+                self.cache.put(keys[index], run)
+            results[index] = run
+        return results  # type: ignore[return-value]
+
+    def run_repetition_sets(self, units: Sequence[WorkUnit]) -> Dict[str, RepetitionSet]:
+        """Execute units and reassemble them into per-group repetition sets.
+
+        Groups appear in first-encounter order and each set's runs stay in
+        unit order, so serial and parallel assembly are indistinguishable.
+        """
+        units = list(units)
+        runs = self.run_units(units)
+        sets: Dict[str, RepetitionSet] = {}
+        for unit, run in zip(units, runs):
+            label = unit.group or f"{unit.spec.name}@{unit.fs_type}"
+            if label not in sets:
+                sets[label] = RepetitionSet(label=label)
+            sets[label].add(run)
+        return sets
+
+    # ------------------------------------------------------------- internals
+    def _execute(self, units: List[WorkUnit]) -> Iterable[RunResult]:
+        if not units:
+            return []
+        if self.n_workers == 1 or len(units) == 1:
+            return [execute_unit(unit) for unit in units]
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        workers = min(self.n_workers, len(units))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(execute_unit, units))
+        except BrokenProcessPool:  # pragma: no cover - sandboxed hosts
+            # Workers could not be spawned (hosts that forbid subprocess
+            # creation) or died wholesale; re-run serially -- same results,
+            # just slower.  Errors raised *by a unit* are not caught here:
+            # they propagate as themselves.
+            return [execute_unit(unit) for unit in units]

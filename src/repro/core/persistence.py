@@ -213,6 +213,20 @@ def _read(source: Union[str, TextIO]) -> Dict:
     return json.load(source)
 
 
+def save_run_result(run: RunResult, destination: Union[str, TextIO]) -> None:
+    """Write a single run (one repetition) to a JSON file or file object.
+
+    This is the storage format of the parallel executor's result cache
+    (:mod:`repro.core.parallel`): one file per measured cell.
+    """
+    _write(_wrap("run_result", run_result_to_dict(run)), destination)
+
+
+def load_run_result(source: Union[str, TextIO]) -> RunResult:
+    """Read a single run written by :func:`save_run_result`."""
+    return run_result_from_dict(_unwrap(_read(source), "run_result"))
+
+
 def save_repetitions(repetitions: RepetitionSet, destination: Union[str, TextIO]) -> None:
     """Write a repetition set to a JSON file or file object."""
     _write(_wrap("repetition_set", repetition_set_to_dict(repetitions)), destination)

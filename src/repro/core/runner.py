@@ -13,7 +13,12 @@ prescriptions:
   with the huge standard deviations they deserve (Section 3.1) instead of
   accidentally looking stable;
 * the measured window is sampled in intervals so warm-up and steady state can
-  be told apart after the fact.
+  be told apart after the fact;
+* every repetition is a pure function of its configuration and effective seed
+  (``config.seed + repetition``), which is what lets
+  :mod:`repro.core.parallel` fan repetitions out across processes -- or skip
+  them via its result cache -- with bit-identical results
+  (:func:`run_single_repetition` is the picklable entry point).
 """
 
 from __future__ import annotations
@@ -134,6 +139,27 @@ class BenchmarkConfig:
     def with_repetitions(self, repetitions: int) -> "BenchmarkConfig":
         """Copy with a different repetition count."""
         return replace(self, repetitions=repetitions)
+
+
+def run_single_repetition(
+    fs_type: str,
+    spec: WorkloadSpec,
+    repetition: int = 0,
+    testbed: Optional[TestbedConfig] = None,
+    config: Optional[BenchmarkConfig] = None,
+) -> "RunResult":
+    """Run one repetition of ``spec`` as a pure function of its arguments.
+
+    This is the picklable entry point used by the parallel executor
+    (:mod:`repro.core.parallel`): it builds a fresh
+    :class:`BenchmarkRunner` with the default stack factory and returns
+    ``runner.run_once(spec, repetition)``.  Because the runner derives every
+    random source from ``config.seed + repetition``, calling this in any
+    process, in any order, yields results bit-identical to the serial loop
+    in :meth:`BenchmarkRunner.run`.
+    """
+    runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
+    return runner.run_once(spec, repetition)
 
 
 class _Recorder:

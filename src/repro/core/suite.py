@@ -6,7 +6,10 @@ meta-data operations performance evaluation components."  :func:`default_suite`
 is that minimum suite (plus an I/O-dimension device characterisation and a
 scaling component), and :class:`NanoBenchmarkSuite` runs it across file
 systems and reports per-dimension results -- as ranges and distributions, not
-single numbers.
+single numbers.  The (benchmark x file system x repetition) grid dispatches
+through :mod:`repro.core.parallel`, so suites can fan out over worker
+processes and skip already-measured cells via the persistent result cache
+without changing any result bit.
 """
 
 from __future__ import annotations
@@ -16,6 +19,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.benchmark import NanoBenchmark
 from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.parallel import (
+    ParallelExecutor,
+    ResultCache,
+    WorkUnit,
+    benchmark_units,
+    group_label,
+)
 from repro.core.results import RepetitionSet
 from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.storage.config import TestbedConfig, paper_testbed
@@ -168,26 +178,77 @@ class SuiteResult:
 
 
 class NanoBenchmarkSuite:
-    """Runs a list of nano-benchmarks across one or more file systems."""
+    """Runs a list of nano-benchmarks across one or more file systems.
+
+    Parameters
+    ----------
+    benchmarks, testbed, quick:
+        What to run and on what machine (defaults to :func:`default_suite`
+        on the paper's testbed).
+    n_workers:
+        Worker processes for the fan-out over (benchmark, file system,
+        repetition); ``1`` runs serially in-process, ``None``/``0`` uses one
+        worker per CPU.  Results are bit-identical for any worker count.
+    cache_dir:
+        Directory of a persistent result cache; ``None`` disables caching.
+        With a cache, re-running the suite skips every already-measured cell.
+    """
 
     def __init__(
         self,
         benchmarks: Optional[Sequence[NanoBenchmark]] = None,
         testbed: Optional[TestbedConfig] = None,
         quick: bool = False,
+        n_workers: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.testbed = testbed if testbed is not None else paper_testbed()
         self.benchmarks = list(benchmarks) if benchmarks is not None else default_suite(self.testbed, quick=quick)
         if not self.benchmarks:
             raise ValueError("suite must contain at least one benchmark")
+        names = [benchmark.name for benchmark in self.benchmarks]
+        if len(set(names)) != len(names):
+            # Benchmark names key the result cells (and the executor's work
+            # groups); duplicates would pool unrelated measurements.
+            duplicates = sorted({name for name in names if names.count(name) > 1})
+            raise ValueError(f"duplicate benchmark names in suite: {', '.join(duplicates)}")
+        self.n_workers = n_workers
+        self.cache_dir = cache_dir
 
-    def run(self, fs_types: Sequence[str] = ("ext2", "ext3", "xfs")) -> SuiteResult:
-        """Run every benchmark on every file system."""
+    def make_executor(self) -> ParallelExecutor:
+        """The executor this suite dispatches through (one cache per call)."""
+        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        return ParallelExecutor(n_workers=self.n_workers, cache=cache)
+
+    def work_units(self, fs_types: Sequence[str]) -> List[WorkUnit]:
+        """Every (benchmark, file system, repetition) unit of a suite run.
+
+        Duplicate file system names are dropped (keeping first occurrence),
+        matching the old serial loop where a repeated ``--fs`` simply
+        overwrote the same result cell.
+        """
+        units: List[WorkUnit] = []
+        for benchmark in self.benchmarks:
+            for fs_type in dict.fromkeys(fs_types):
+                units.extend(benchmark_units(benchmark, fs_type, testbed=self.testbed))
+        return units
+
+    def run(
+        self,
+        fs_types: Sequence[str] = ("ext2", "ext3", "xfs"),
+        executor: Optional[ParallelExecutor] = None,
+    ) -> SuiteResult:
+        """Run every benchmark on every file system.
+
+        ``executor`` overrides the suite's own executor (used by surveys that
+        share one cache and worker pool across several suites).
+        """
         if not fs_types:
             raise ValueError("fs_types must not be empty")
+        executor = executor if executor is not None else self.make_executor()
+        sets = executor.run_repetition_sets(self.work_units(fs_types))
         suite_result = SuiteResult(testbed=self.testbed)
         for benchmark in self.benchmarks:
-            for fs_type in fs_types:
-                repetitions = benchmark.run(fs_type, testbed=self.testbed)
-                suite_result.add(benchmark, fs_type, repetitions)
+            for fs_type in dict.fromkeys(fs_types):
+                suite_result.add(benchmark, fs_type, sets[group_label(benchmark.name, fs_type)])
         return suite_result

@@ -1,4 +1,4 @@
-"""The benchmark-usage survey behind Table 1.
+"""The benchmark-usage survey behind Table 1, and its measured counterpart.
 
 The paper surveyed 100 file system papers from FAST, OSDI, ATC, HotStorage,
 SOSP and MSST (2009--2010), recorded which benchmarks each used, and combined
@@ -10,6 +10,14 @@ This module ships that survey as structured data plus the aggregation engine
 that regenerates the table and its headline statistics (the dominance of
 ad-hoc benchmarks, the lack of overlap between papers), and lets users extend
 the database with new survey years.
+
+It also ships :class:`MeasuredSurvey`, the *executable* complement of the
+literature survey: for every dimension the paper says an evaluation must
+cover, it runs the nano-benchmark suite's isolating components across file
+systems and reports measured ranges next to the usage statistics.  The
+(dimension x file system x repetition) grid is embarrassingly parallel and
+dispatches through :mod:`repro.core.parallel`, so surveys scale out over
+worker processes and re-runs are served from the persistent result cache.
 
 Reconstruction note: the usage counts and row set are taken verbatim from the
 paper.  The per-dimension symbols were reconstructed from the paper's text
@@ -23,7 +31,10 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.parallel import ParallelExecutor
 from repro.core.report import format_table
+from repro.core.suite import NanoBenchmarkSuite, SuiteResult
+from repro.storage.config import TestbedConfig
 
 
 @dataclass
@@ -317,3 +328,110 @@ class SurveyDatabase:
             "of 2009-2010 uses."
         )
         return format_table(headers, rows) + legend + summary
+
+
+# ------------------------------------------------------------ measured survey
+@dataclass
+class MeasuredSurveyResult:
+    """Outcome of a :class:`MeasuredSurvey` run.
+
+    Pairs the literature survey (who isolates which dimension, how often the
+    dimension was exercised in published evaluations) with actual
+    measurements of every dimension's isolating nano-benchmarks.
+    """
+
+    database: SurveyDatabase
+    suite_result: SuiteResult
+
+    def dimensions(self) -> List[Dimension]:
+        """Dimensions with at least one measured benchmark, in canonical order."""
+        grouped = self.suite_result.by_dimension()
+        return [dimension for dimension in Dimension.ordered() if dimension in grouped]
+
+    def benchmarks_for(self, dimension: Dimension) -> List[str]:
+        """Measured benchmark names whose primary dimension is ``dimension``."""
+        return self.suite_result.by_dimension().get(dimension, [])
+
+    def render(self) -> str:
+        """Per-dimension report: survey context plus measured ranges.
+
+        Every measured cell is shown as ``mean +/- relative stddev`` across
+        repetitions -- ranges, never single numbers, per the paper.
+        """
+        lines: List[str] = ["Measured dimension survey", "========================="]
+        use_counts = self.database.dimension_use_counts()
+        fs_names = self.suite_result.filesystems()
+        for dimension in self.dimensions():
+            isolating = self.database.isolating_benchmarks(dimension)
+            lines.append("")
+            lines.append(f"[{dimension.title}]")
+            lines.append(
+                f"  2009-2010 benchmark uses touching this dimension: {use_counts[dimension]}"
+            )
+            lines.append(
+                "  published benchmarks isolating it: "
+                + (", ".join(isolating) if isolating else "(none)")
+            )
+            headers = ["Nano-benchmark"] + [f"{fs} (ops/s)" for fs in fs_names]
+            rows = []
+            for name in self.benchmarks_for(dimension):
+                row = [name]
+                for fs_name in fs_names:
+                    summary = self.suite_result.result_for(name, fs_name).throughput_summary()
+                    row.append(f"{summary.mean:.0f} +/-{summary.relative_stddev_percent:.0f}%")
+                rows.append(row)
+            lines.append(format_table(headers, rows))
+        return "\n".join(lines)
+
+
+class MeasuredSurvey:
+    """Execute the survey the paper wishes the community ran.
+
+    Where :class:`SurveyDatabase` records which dimensions published papers
+    *claimed* to evaluate, ``MeasuredSurvey`` actually evaluates each
+    dimension: it runs the nano-benchmark suite (whose components isolate one
+    dimension apiece) across file systems, many repetitions per cell, under
+    the controlled-cache-state, deliberate-noise protocol.
+
+    Parameters
+    ----------
+    database:
+        Literature survey providing the per-dimension context (defaults to
+        the paper's Table 1 data).
+    testbed, quick:
+        Machine to simulate and whether to use shortened protocols.
+    n_workers:
+        Worker processes for the parallel fan-out (``1`` = serial in-process,
+        ``None``/``0`` = one per CPU).  Any worker count produces
+        bit-identical results.
+    cache_dir:
+        Persistent result-cache directory; re-running a survey skips every
+        already-measured (benchmark, file system, repetition) cell.
+        ``None`` disables caching.
+    """
+
+    def __init__(
+        self,
+        database: Optional[SurveyDatabase] = None,
+        testbed: Optional[TestbedConfig] = None,
+        quick: bool = False,
+        n_workers: Optional[int] = 1,
+        cache_dir: Optional[str] = None,
+    ) -> None:
+        self.database = database if database is not None else load_paper_survey()
+        self.suite = NanoBenchmarkSuite(
+            testbed=testbed, quick=quick, n_workers=n_workers, cache_dir=cache_dir
+        )
+
+    def run(
+        self,
+        fs_types: Sequence[str] = ("ext2", "ext3", "xfs"),
+        executor: Optional[ParallelExecutor] = None,
+    ) -> MeasuredSurveyResult:
+        """Measure every dimension on every file system.
+
+        ``executor`` overrides the survey's own executor, letting callers
+        share a worker pool and cache across several surveys.
+        """
+        suite_result = self.suite.run(fs_types, executor=executor)
+        return MeasuredSurveyResult(database=self.database, suite_result=suite_result)

@@ -91,7 +91,7 @@ class TestFigureCommands:
 
     def test_suite_command(self, monkeypatch, capsys):
         class _FakeSuite:
-            def __init__(self, testbed=None, quick=False):
+            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
                 self.quick = quick
 
             def run(self, fs_types):
@@ -101,3 +101,51 @@ class TestFigureCommands:
         monkeypatch.setattr(cli, "suite_report", lambda result: f"suite over {result['fs']}")
         assert cli.main(["suite", "--quick", "--fs", "ext2", "--scaled-testbed", "0.125"]) == 0
         assert "ext2" in capsys.readouterr().out
+
+
+class TestParallelFlags:
+    """--workers / --cache-dir / --no-cache reach the execution layer."""
+
+    class _FakeSuite:
+        captured = {}
+
+        def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
+            type(self).captured = {"n_workers": n_workers, "cache_dir": cache_dir}
+
+        def run(self, fs_types):
+            return {"fs": fs_types}
+
+    def test_suite_workers_and_cache_dir(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "NanoBenchmarkSuite", self._FakeSuite)
+        monkeypatch.setattr(cli, "suite_report", lambda result: "ok")
+        assert cli.main(["suite", "--workers", "4", "--cache-dir", "/tmp/c"]) == 0
+        assert self._FakeSuite.captured == {"n_workers": 4, "cache_dir": "/tmp/c"}
+
+    def test_no_cache_overrides_cache_dir(self, monkeypatch):
+        monkeypatch.setattr(cli, "NanoBenchmarkSuite", self._FakeSuite)
+        monkeypatch.setattr(cli, "suite_report", lambda result: "ok")
+        cli.main(["suite", "--cache-dir", "/tmp/c", "--no-cache"])
+        assert self._FakeSuite.captured["cache_dir"] is None
+
+    def test_survey_dispatch(self, monkeypatch, capsys):
+        captured = {}
+
+        class _FakeSurvey:
+            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
+                captured.update(n_workers=n_workers, cache_dir=cache_dir, quick=quick)
+
+            def run(self, fs_types):
+                captured["fs"] = fs_types
+
+                class _Result:
+                    def render(self):
+                        return "survey-render"
+
+                return _Result()
+
+        monkeypatch.setattr(cli, "MeasuredSurvey", _FakeSurvey)
+        assert cli.main(["survey", "--quick", "--fs", "xfs", "--workers", "0"]) == 0
+        assert captured["n_workers"] == 0
+        assert captured["quick"] is True
+        assert captured["fs"] == ("xfs",)
+        assert "survey-render" in capsys.readouterr().out

@@ -1,0 +1,393 @@
+"""Tests for the parallel execution engine and its result cache.
+
+The load-bearing guarantees:
+
+* parallel execution is **bit-identical** to serial execution (same seeds,
+  same spreads, same histograms) for any worker count;
+* the refactored suite path reproduces exactly what the old serial
+  ``NanoBenchmark.run`` loop produced;
+* the result cache serves previously measured cells and invalidates on any
+  input change (spec, testbed, protocol, seed).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.core.benchmark import NanoBenchmark
+from repro.core.dimensions import Dimension, DimensionVector
+from repro.core.parallel import (
+    ParallelExecutor,
+    ResultCache,
+    WorkUnit,
+    benchmark_units,
+    cache_key,
+    execute_unit,
+)
+from repro.core.persistence import run_result_to_dict
+from repro.core.results import RepetitionSet, merge_repetition_sets
+from repro.core.runner import (
+    BenchmarkConfig,
+    BenchmarkRunner,
+    EnvironmentNoise,
+    WarmupMode,
+    run_single_repetition,
+)
+from repro.core.suite import NanoBenchmarkSuite
+from repro.core.survey import MeasuredSurvey
+from repro.storage.config import scaled_testbed
+from repro.workloads.micro import random_read_workload, stat_workload
+
+MiB = 1024 * 1024
+
+
+def quick_config(**overrides):
+    values = dict(
+        duration_s=0.5,
+        repetitions=3,
+        warmup_mode=WarmupMode.PREWARM,
+        interval_s=0.25,
+    )
+    values.update(overrides)
+    return BenchmarkConfig(**values)
+
+
+@pytest.fixture
+def testbed():
+    return scaled_testbed(1.0 / 16.0)
+
+
+@pytest.fixture
+def nano():
+    return NanoBenchmark(
+        name="inmemory",
+        description="random reads of a cached file",
+        workload_factory=lambda: random_read_workload(2 * MiB),
+        config=quick_config(),
+    )
+
+
+def dicts(repetitions: RepetitionSet):
+    return [run_result_to_dict(run) for run in repetitions]
+
+
+class TestRunSingleRepetition:
+    def test_matches_runner_run_once(self, testbed):
+        config = quick_config()
+        spec = random_read_workload(2 * MiB)
+        runner = BenchmarkRunner(fs_type="ext2", testbed=testbed, config=config)
+        direct = runner.run_once(random_read_workload(2 * MiB), repetition=1)
+        pure = run_single_repetition("ext2", spec, repetition=1, testbed=testbed, config=config)
+        assert run_result_to_dict(direct) == run_result_to_dict(pure)
+
+    def test_work_units_are_picklable(self, testbed, nano):
+        units = benchmark_units(nano, "ext2", testbed=testbed)
+        restored = pickle.loads(pickle.dumps(units))
+        assert len(restored) == 3
+        assert run_result_to_dict(execute_unit(restored[0])) == run_result_to_dict(
+            execute_unit(units[0])
+        )
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_is_bit_identical_to_serial(self, testbed, nano):
+        units = benchmark_units(nano, "ext2", testbed=testbed)
+        serial = ParallelExecutor(n_workers=1).run_repetition_sets(units)
+        parallel = ParallelExecutor(n_workers=2).run_repetition_sets(units)
+        assert serial.keys() == parallel.keys() == {"inmemory@ext2"}
+        assert dicts(serial["inmemory@ext2"]) == dicts(parallel["inmemory@ext2"])
+
+    def test_executor_path_matches_legacy_benchmark_run(self, testbed, nano):
+        legacy = nano.run("ext2", testbed=testbed)
+        via_units = ParallelExecutor(n_workers=1).run_repetition_sets(
+            benchmark_units(nano, "ext2", testbed=testbed)
+        )["inmemory@ext2"]
+        assert legacy.label == via_units.label
+        assert dicts(legacy) == dicts(via_units)
+
+    def test_suite_parallel_matches_suite_serial(self, testbed):
+        benchmarks = [
+            NanoBenchmark(
+                name="inmemory",
+                description="cached reads",
+                workload_factory=lambda: random_read_workload(2 * MiB),
+                config=quick_config(repetitions=2),
+            ),
+            NanoBenchmark(
+                name="stat",
+                description="stat scan",
+                workload_factory=lambda: stat_workload(file_count=50, directories=5),
+                config=quick_config(repetitions=2, warmup_mode=WarmupMode.NONE),
+            ),
+        ]
+        serial = NanoBenchmarkSuite(benchmarks, testbed=testbed, n_workers=1).run(("ext2", "xfs"))
+        parallel = NanoBenchmarkSuite(benchmarks, testbed=testbed, n_workers=2).run(("ext2", "xfs"))
+        assert serial.benchmark_names() == parallel.benchmark_names()
+        assert serial.filesystems() == parallel.filesystems()
+        for name in serial.benchmark_names():
+            for fs_name in serial.filesystems():
+                assert dicts(serial.result_for(name, fs_name)) == dicts(
+                    parallel.result_for(name, fs_name)
+                ), (name, fs_name)
+
+    def test_nondeterministic_factory_keeps_one_spec_per_cell(self, testbed):
+        # The serial loop builds one spec per (benchmark, fs) cell and reuses
+        # it for every repetition; the unit expansion must do the same, or a
+        # factory with construction-time randomness would break bit-identity.
+        sizes = iter([2 * MiB, 3 * MiB, 5 * MiB])
+        bench = NanoBenchmark(
+            name="varying",
+            description="factory output changes per call",
+            workload_factory=lambda: random_read_workload(next(sizes)),
+            config=quick_config(repetitions=2),
+        )
+        units = benchmark_units(bench, "ext2", testbed=testbed)
+        assert units[0].spec is units[1].spec
+        serial = BenchmarkRunner(fs_type="ext2", testbed=testbed, config=bench.config).run(
+            units[0].spec, label="varying@ext2"
+        )
+        via_units = ParallelExecutor(n_workers=2).run_repetition_sets(units)["varying@ext2"]
+        assert dicts(serial) == dicts(via_units)
+
+    def test_duplicate_fs_types_collapse_like_the_serial_loop(self, testbed):
+        benchmarks = [
+            NanoBenchmark(
+                name="inmemory",
+                description="cached reads",
+                workload_factory=lambda: random_read_workload(2 * MiB),
+                config=quick_config(repetitions=2),
+            )
+        ]
+        once = NanoBenchmarkSuite(benchmarks, testbed=testbed).run(("ext2",))
+        doubled = NanoBenchmarkSuite(benchmarks, testbed=testbed).run(("ext2", "ext2"))
+        assert len(doubled.result_for("inmemory", "ext2")) == 2
+        assert dicts(once.result_for("inmemory", "ext2")) == dicts(
+            doubled.result_for("inmemory", "ext2")
+        )
+
+    def test_noise_is_still_injected_per_repetition(self, testbed, nano):
+        runs = ParallelExecutor(n_workers=2).run_units(
+            benchmark_units(nano, "ext2", testbed=testbed)
+        )
+        cpu_factors = {run.environment["cpu_speed_factor"] for run in runs}
+        assert len(cpu_factors) == len(runs)
+
+
+class TestCacheKey:
+    def test_stable_across_equal_configurations(self, testbed):
+        config = quick_config()
+        key_a = cache_key("ext2", random_read_workload(MiB), config, 42, testbed)
+        key_b = cache_key("ext2", random_read_workload(MiB), config, 42, testbed)
+        assert key_a == key_b
+
+    def test_changes_with_every_input(self, testbed):
+        config = quick_config()
+        spec = random_read_workload(MiB)
+        base = cache_key("ext2", spec, config, 42, testbed)
+        assert cache_key("xfs", spec, config, 42, testbed) != base
+        assert cache_key("ext2", random_read_workload(2 * MiB), config, 42, testbed) != base
+        assert cache_key("ext2", spec, replace(config, duration_s=1.0), 42, testbed) != base
+        assert cache_key("ext2", spec, config, 43, testbed) != base
+        assert cache_key("ext2", spec, config, 42, scaled_testbed(1.0 / 8.0)) != base
+
+    def test_noise_parameters_are_part_of_the_key(self, testbed):
+        config = quick_config()
+        quiet = replace(config, noise=EnvironmentNoise(enabled=False))
+        spec = random_read_workload(MiB)
+        assert cache_key("ext2", spec, config, 42, testbed) != cache_key(
+            "ext2", spec, quiet, 42, testbed
+        )
+
+    def test_repetition_and_base_seed_normalise_to_effective_seed(self, testbed, nano):
+        # Repetition 1 of a seed-42 run is the same measurement as
+        # repetition 0 of a seed-43 run; they must share a cache entry.
+        units_42 = benchmark_units(nano, "ext2", testbed=testbed)
+        shifted = replace(nano.config, seed=43)
+        units_43 = benchmark_units(nano, "ext2", testbed=testbed, config=shifted)
+        assert units_42[1].key() == units_43[0].key()
+        assert units_42[0].key() != units_43[0].key()
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path, testbed, nano):
+        cache = ResultCache(str(tmp_path))
+        unit = benchmark_units(nano, "ext2", testbed=testbed)[0]
+        run = execute_unit(unit)
+        cache.put(unit.key(), run)
+        loaded = cache.get(unit.key())
+        assert loaded is not None
+        assert run_result_to_dict(loaded) == run_result_to_dict(run)
+        assert len(cache) == 1
+
+    def test_miss_on_unknown_and_corrupt_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = "ab" + "0" * 62
+        assert cache.get(key) is None
+        path = cache.path_for(key)
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("not json{")
+        assert cache.get(key) is None
+        assert cache.stats.misses == 2
+
+    def test_second_run_is_served_entirely_from_cache(self, tmp_path, testbed, nano):
+        units = benchmark_units(nano, "ext2", testbed=testbed)
+        cache = ResultCache(str(tmp_path))
+        executor = ParallelExecutor(n_workers=1, cache=cache)
+        fresh = executor.run_units(units)
+        assert (cache.stats.hits, cache.stats.misses, cache.stats.stores) == (0, 3, 3)
+        cached = executor.run_units(units)
+        assert (cache.stats.hits, cache.stats.stores) == (3, 3)
+        assert [run_result_to_dict(run) for run in fresh] == [
+            run_result_to_dict(run) for run in cached
+        ]
+
+    def test_cache_entries_survive_process_boundaries_logically(self, tmp_path, testbed, nano):
+        # A different executor (and worker count) over the same directory
+        # still hits: the key depends only on measurement inputs.
+        units = benchmark_units(nano, "ext2", testbed=testbed)
+        ParallelExecutor(n_workers=2, cache=ResultCache(str(tmp_path))).run_units(units)
+        cache = ResultCache(str(tmp_path))
+        ParallelExecutor(n_workers=1, cache=cache).run_units(units)
+        assert (cache.stats.hits, cache.stats.misses) == (3, 0)
+
+    def test_config_change_invalidates(self, tmp_path, testbed, nano):
+        cache = ResultCache(str(tmp_path))
+        executor = ParallelExecutor(n_workers=1, cache=cache)
+        executor.run_units(benchmark_units(nano, "ext2", testbed=testbed))
+        longer = replace(nano.config, duration_s=0.75)
+        executor.run_units(
+            benchmark_units(nano, "ext2", testbed=testbed, config=longer)
+        )
+        assert cache.stats.hits == 0
+        assert cache.stats.stores == 6
+
+    def test_cached_repetition_index_is_relabelled(self, tmp_path, testbed, nano):
+        cache = ResultCache(str(tmp_path))
+        executor = ParallelExecutor(n_workers=1, cache=cache)
+        executor.run_units(benchmark_units(nano, "ext2", testbed=testbed))
+        shifted = replace(nano.config, seed=nano.config.seed + 1, repetitions=2)
+        runs = executor.run_units(
+            benchmark_units(nano, "ext2", testbed=testbed, config=shifted)
+        )
+        # Seeds 43,44 were measured as repetitions 1,2 of the seed-42 run;
+        # they come back relabelled as repetitions 0,1 of this run.
+        assert cache.stats.hits == 2
+        assert [run.repetition for run in runs] == [0, 1]
+        assert [run.seed for run in runs] == [43, 44]
+
+    def test_clear(self, tmp_path, testbed, nano):
+        cache = ResultCache(str(tmp_path))
+        ParallelExecutor(n_workers=1, cache=cache).run_units(
+            benchmark_units(nano, "ext2", testbed=testbed)
+        )
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestMergeHelpers:
+    def test_merge_shards_reassembles_serial_order(self, testbed, nano):
+        units = benchmark_units(nano, "ext2", testbed=testbed)
+        runs = ParallelExecutor(n_workers=1).run_units(units)
+        label = "inmemory@ext2"
+        shard_a = RepetitionSet(label=label, runs=[runs[2]])
+        shard_b = RepetitionSet(label=label, runs=[runs[0], runs[1]])
+        merged = merge_repetition_sets([shard_a, shard_b])
+        assert [run.repetition for run in merged] == [0, 1, 2]
+        assert dicts(merged) == [run_result_to_dict(run) for run in runs]
+
+    def test_merge_refuses_mixed_labels(self):
+        with pytest.raises(ValueError):
+            RepetitionSet(label="a").merge(RepetitionSet(label="b"))
+        with pytest.raises(ValueError):
+            merge_repetition_sets([])
+
+
+class TestMeasuredSurvey:
+    def test_runs_and_renders(self, testbed):
+        survey = MeasuredSurvey(testbed=testbed, quick=True, n_workers=1)
+        # Shrink the suite drastically so the test stays fast.
+        survey.suite.benchmarks = [
+            NanoBenchmark(
+                name="inmemory",
+                description="cached reads",
+                workload_factory=lambda: random_read_workload(2 * MiB),
+                dimensions=DimensionVector.of(isolates=[Dimension.CACHING]),
+                config=quick_config(repetitions=2),
+            )
+        ]
+        result = survey.run(("ext2",))
+        report = result.render()
+        assert "Measured dimension survey" in report
+        assert "inmemory" in report
+        assert "ext2" in report
+        assert "+/-" in report
+
+    def test_survey_uses_cache(self, tmp_path, testbed):
+        def build(cache_dir):
+            survey = MeasuredSurvey(
+                testbed=testbed, quick=True, n_workers=1, cache_dir=cache_dir
+            )
+            survey.suite.benchmarks = [
+                NanoBenchmark(
+                    name="inmemory",
+                    description="cached reads",
+                    workload_factory=lambda: random_read_workload(2 * MiB),
+                    config=quick_config(repetitions=2),
+                )
+            ]
+            return survey
+
+        cache_dir = str(tmp_path / "cache")
+        first = build(cache_dir)
+        executor = first.suite.make_executor()
+        first.run(("ext2",), executor=executor)
+        assert executor.cache.stats.stores == 2
+
+        second = build(cache_dir)
+        executor = second.suite.make_executor()
+        second.run(("ext2",), executor=executor)
+        assert (executor.cache.stats.hits, executor.cache.stats.misses) == (2, 0)
+
+
+class TestExecutorEdgeCases:
+    def test_invalid_config_fails_at_expansion_not_in_workers(self, testbed, nano):
+        bad = replace(nano.config, repetitions=0)
+        with pytest.raises(ValueError, match="repetitions"):
+            benchmark_units(nano, "ext2", testbed=testbed, config=bad)
+
+    def test_duplicate_benchmark_names_rejected(self, testbed, nano):
+        clone = NanoBenchmark(
+            name=nano.name,
+            description="same name, different workload",
+            workload_factory=lambda: stat_workload(file_count=10, directories=2),
+            config=quick_config(repetitions=1),
+        )
+        with pytest.raises(ValueError, match="duplicate benchmark names"):
+            NanoBenchmarkSuite([nano, clone], testbed=testbed)
+
+    def test_empty_unit_list(self):
+        assert ParallelExecutor(n_workers=2).run_units([]) == []
+        assert ParallelExecutor(n_workers=2).run_repetition_sets([]) == {}
+
+    def test_zero_workers_means_cpu_count(self):
+        assert ParallelExecutor(n_workers=0).n_workers >= 1
+        assert ParallelExecutor(n_workers=None).n_workers >= 1
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(n_workers=-1)
+
+    def test_group_defaults_to_spec_and_fs(self, testbed):
+        spec = random_read_workload(MiB)
+        unit = WorkUnit(
+            fs_type="ext2", spec=spec, config=quick_config(repetitions=1), testbed=testbed
+        )
+        sets = ParallelExecutor(n_workers=1).run_repetition_sets([unit])
+        assert list(sets) == [f"{spec.name}@ext2"]
