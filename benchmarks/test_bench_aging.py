@@ -1,0 +1,82 @@
+"""Benchmark: the aging subsystem and aged-state runs.
+
+Tracks the wall-clock cost of the new scenario axis so the performance
+trajectory covers aged-state measurement from day one:
+
+* how long the churn ager takes to manufacture an aged state,
+* how long a snapshot save -> load -> restore cycle takes (the per-repetition
+  overhead every aged measurement pays), and
+* the full quick aged-vs-fresh experiment, with the measured slowdown
+  factors attached as extra_info.
+"""
+
+import os
+import tempfile
+
+from benchmarks.conftest import run_once
+from repro.aging import (
+    ChurnAger,
+    load_snapshot,
+    quick_aging_config,
+    restore_stack,
+    run_aged_vs_fresh,
+    save_snapshot,
+    snapshot_stack,
+)
+from repro.fs.stack import build_stack
+from repro.storage.config import scaled_testbed
+
+TESTBED = scaled_testbed(0.0625)
+
+
+def test_bench_churn_ager(benchmark):
+    """Manufacturing one aged ext2 state with the quick profile."""
+
+    def age():
+        stack = build_stack("ext2", testbed=TESTBED, seed=777)
+        return ChurnAger(quick_aging_config()).age(stack)
+
+    result = run_once(benchmark, age)
+    frag = result.fragmentation
+    benchmark.extra_info["files_created"] = result.files_created
+    benchmark.extra_info["free_extents"] = frag.free_space.extent_count
+    assert frag.free_space.fragmentation_score > 0.5
+
+
+def test_bench_snapshot_roundtrip(benchmark):
+    """Save + load + restore of an aged state (the per-repetition overhead)."""
+    stack = build_stack("ext2", testbed=TESTBED, seed=777)
+    ChurnAger(quick_aging_config()).age(stack)
+    snapshot = snapshot_stack(stack)
+    handle, path = tempfile.mkstemp(suffix=".snapshot.json")
+    os.close(handle)
+    try:
+
+        def roundtrip():
+            save_snapshot(snapshot, path)
+            return restore_stack(load_snapshot(path))
+
+        restored = benchmark.pedantic(roundtrip, rounds=3, iterations=1, warmup_rounds=0)
+        benchmark.extra_info["snapshot_kib"] = os.path.getsize(path) // 1024
+        assert restored.fs.free_blocks() == stack.fs.free_blocks()
+    finally:
+        os.unlink(path)
+
+
+def test_bench_aged_vs_fresh_experiment(benchmark):
+    """The full quick aged-vs-fresh comparison on ext2 and xfs."""
+
+    with tempfile.TemporaryDirectory(prefix="fsbench-aged-bench-") as scratch:
+
+        def experiment():
+            return run_aged_vs_fresh(
+                fs_types=("ext2", "xfs"),
+                testbed=TESTBED,
+                quick=True,
+                snapshot_dir=scratch,
+            )
+
+        result = run_once(benchmark, experiment)
+        for fs_type, cell in result.cells.items():
+            benchmark.extra_info[f"slowdown_{fs_type}"] = round(cell.slowdown_factor, 3)
+            assert cell.slowdown_factor > 1.05

@@ -5,12 +5,25 @@
 """
 
 import os
+import re
 
 from setuptools import find_packages, setup
 
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _version() -> str:
+    """Single-source the version from ``repro.__version__`` (no import needed)."""
+    path = os.path.join(HERE, "src", "repro", "__init__.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        match = re.search(r"^__version__\s*=\s*[\"']([^\"']+)[\"']", handle.read(), re.M)
+    if not match:
+        raise RuntimeError("__version__ not found in src/repro/__init__.py")
+    return match.group(1)
+
 
 def _long_description() -> str:
-    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    path = os.path.join(HERE, "README.md")
     if os.path.exists(path):
         with open(path, "r", encoding="utf-8") as handle:
             return handle.read()
@@ -19,7 +32,7 @@ def _long_description() -> str:
 
 setup(
     name="fsbench-rocket",
-    version="1.0.0",
+    version=_version(),
     description=(
         "Reproduction of 'Benchmarking File System Benchmarking: It *IS* Rocket Science' "
         "(HotOS XIII): a simulated storage stack, the paper's measurement protocol, "

@@ -19,6 +19,8 @@ Python library:
   generators, and trace record/replay.
 * :mod:`repro.analysis` -- regime labelling, transition detection, fragility
   and honest cross-system comparison.
+* :mod:`repro.aging` -- file system aging engines, fragmentation metrics and
+  deterministic state snapshots (the aged-vs-fresh scenario axis).
 * :mod:`repro.experiments` -- one harness per figure/table of the paper.
 
 Quick start::
@@ -54,6 +56,17 @@ from repro.core import (
     run_single_repetition,
     summarize,
 )
+from repro.aging import (
+    AgingConfig,
+    ChurnAger,
+    StateSnapshot,
+    TraceAger,
+    load_snapshot,
+    restore_stack,
+    run_aged_vs_fresh,
+    save_snapshot,
+    snapshot_stack,
+)
 from repro.fs import build_stack, StorageStack
 from repro.storage import paper_testbed, scaled_testbed, TestbedConfig
 from repro.workloads import (
@@ -63,9 +76,20 @@ from repro.workloads import (
     sequential_read_workload,
 )
 
-__version__ = "1.0.0"
+#: The single source of the package version: setup.py parses it from here and
+#: the CLI's ``--version`` flag reports it.
+__version__ = "1.1.0"
 
 __all__ = [
+    "AgingConfig",
+    "ChurnAger",
+    "StateSnapshot",
+    "TraceAger",
+    "load_snapshot",
+    "restore_stack",
+    "run_aged_vs_fresh",
+    "save_snapshot",
+    "snapshot_stack",
     "BenchmarkConfig",
     "BenchmarkRunner",
     "Coverage",

@@ -1,0 +1,66 @@
+"""Filesystem aging and state snapshots.
+
+Benchmarks in this repository used to start, implicitly, from a
+freshly-formatted file system.  This subpackage makes benchmark state an
+explicit, controlled, *published* variable -- the paper's missing scenario
+axis:
+
+* :mod:`repro.aging.engines` -- aging engines that churn a mounted stack
+  into realistic aged states (synthetic fill/checkerboard/churn, or replay
+  of a recorded trace);
+* :mod:`repro.aging.metrics` -- fragmentation metrics: per-file layout
+  scores, extent-count histograms and allocator free-space statistics;
+* :mod:`repro.aging.snapshot` -- deterministic
+  :class:`~repro.aging.snapshot.StateSnapshot` serialisation of full stack
+  state, so aged states are reproducible, shareable artifacts whose
+  fingerprint joins the result-cache key;
+* :mod:`repro.aging.experiment` -- the aged-vs-fresh comparison experiment.
+"""
+
+from repro.aging.engines import (
+    AgingConfig,
+    AgingResult,
+    ChurnAger,
+    TraceAger,
+    quick_aging_config,
+)
+from repro.aging.experiment import (
+    AgedVsFreshCell,
+    AgedVsFreshResult,
+    run_aged_vs_fresh,
+)
+from repro.aging.metrics import (
+    FragmentationReport,
+    layout_score,
+    measure_fragmentation,
+)
+from repro.aging.snapshot import (
+    StateSnapshot,
+    load_snapshot,
+    restore_stack,
+    save_snapshot,
+    snapshot_fingerprint,
+    snapshot_stack,
+    snapshot_stack_factory,
+)
+
+__all__ = [
+    "AgingConfig",
+    "AgingResult",
+    "ChurnAger",
+    "TraceAger",
+    "quick_aging_config",
+    "AgedVsFreshCell",
+    "AgedVsFreshResult",
+    "run_aged_vs_fresh",
+    "FragmentationReport",
+    "layout_score",
+    "measure_fragmentation",
+    "StateSnapshot",
+    "load_snapshot",
+    "restore_stack",
+    "save_snapshot",
+    "snapshot_fingerprint",
+    "snapshot_stack",
+    "snapshot_stack_factory",
+]

@@ -15,7 +15,12 @@ researchers should be making explicitly:
 """
 
 from repro.analysis.comparison import ComparisonVerdict, compare_repetition_sets, compare_sweeps
-from repro.analysis.fragility import FragilityReport, FragilityWarning, assess_sweep
+from repro.analysis.fragility import (
+    FragilityReport,
+    FragilityWarning,
+    assess_aging,
+    assess_sweep,
+)
 from repro.analysis.regimes import Regime, classify_run, classify_sweep_point
 from repro.analysis.transition import TransitionRegion, find_transition, refine_transition
 
@@ -25,6 +30,7 @@ __all__ = [
     "compare_sweeps",
     "FragilityReport",
     "FragilityWarning",
+    "assess_aging",
     "assess_sweep",
     "Regime",
     "classify_run",

@@ -70,6 +70,8 @@ RSD_WARNING_PERCENT = 10.0
 RSD_SEVERE_PERCENT = 25.0
 #: Adjacent-point change factor above which a cliff is flagged.
 CLIFF_FACTOR = 3.0
+#: Aged/fresh throughput divergence factor above which a result is flagged.
+AGING_DELTA_FACTOR = 1.25
 
 
 def assess_repetitions(
@@ -125,6 +127,56 @@ def assess_repetitions(
                     "the latency distribution has multiple peaks "
                     f"(spanning {merged.span_orders_of_magnitude():.1f} orders of magnitude); "
                     "report the histogram, not the average"
+                ),
+            )
+        )
+    return warnings
+
+
+def assess_aging(
+    fresh: RepetitionSet,
+    aged: RepetitionSet,
+    delta_factor: float = AGING_DELTA_FACTOR,
+) -> List[FragilityWarning]:
+    """Warnings when the same benchmark diverges between fresh and aged state.
+
+    A fresh-vs-aged throughput gap means the published number depends on a
+    state variable (file system age) that evaluations almost never disclose;
+    a *regime* difference means fresh and aged runs are not even measuring
+    the same subsystem.
+    """
+    if delta_factor <= 1.0:
+        raise ValueError("delta_factor must exceed 1.0")
+    warnings: List[FragilityWarning] = []
+    fresh_mean = fresh.throughput_summary().mean
+    aged_mean = aged.throughput_summary().mean
+    if fresh_mean > 0 and aged_mean > 0:
+        ratio = max(fresh_mean / aged_mean, aged_mean / fresh_mean)
+        if ratio >= delta_factor:
+            warnings.append(
+                FragilityWarning(
+                    kind="aged-state sensitivity",
+                    severity="severe" if ratio >= 2 * delta_factor else "warning",
+                    message=(
+                        f"throughput differs {ratio:.2f}x between fresh and aged states "
+                        f"({fresh_mean:.0f} vs {aged_mean:.0f} ops/s); "
+                        "results are meaningless without disclosing file system age"
+                    ),
+                )
+            )
+
+    fresh_regimes = {classify_run(run) for run in fresh}
+    aged_regimes = {classify_run(run) for run in aged}
+    if fresh_regimes and aged_regimes and fresh_regimes != aged_regimes:
+        fresh_names = ", ".join(sorted(r.value for r in fresh_regimes))
+        aged_names = ", ".join(sorted(r.value for r in aged_regimes))
+        warnings.append(
+            FragilityWarning(
+                kind="aging regime shift",
+                severity="severe",
+                message=(
+                    f"fresh runs are {fresh_names} but aged runs are {aged_names}; "
+                    "aging moved the benchmark to a different subsystem entirely"
                 ),
             )
         )

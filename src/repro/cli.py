@@ -8,11 +8,19 @@ Examples::
     fsbench-rocket suite --quick --fs ext2 --fs xfs
     fsbench-rocket suite --workers 4 --cache-dir ~/.cache/fsbench-rocket
     fsbench-rocket survey --quick --workers 0
+    fsbench-rocket age --quick --fs ext2 --out aged-ext2.snapshot.json
+    fsbench-rocket age --quick --compare
+    fsbench-rocket suite --quick --fs ext2 --snapshot aged-ext2.snapshot.json
 
 ``--workers`` fans the (benchmark x file system x repetition) grid out over
 worker processes (``0`` = one per CPU) with bit-identical results;
 ``--cache-dir`` persists every measured cell so repeated runs only simulate
 what has never been measured before (``--no-cache`` overrides it).
+
+``age`` churns a file system into a realistic aged state and saves it as a
+deterministic state snapshot; passing that snapshot to ``suite``/``survey``
+via ``--snapshot`` measures every dimension from the aged state (the
+snapshot fingerprint joins the result-cache key).
 """
 
 from __future__ import annotations
@@ -45,10 +53,23 @@ def _nonnegative_int(value: str) -> int:
     return number
 
 
+def _testbed_fraction(value: str) -> float:
+    """argparse type for --scaled-testbed: a fraction in (0, 1]."""
+    number = float(value)
+    if not (0 < number <= 1):
+        raise argparse.ArgumentTypeError("must be a fraction in (0, 1]")
+    return number
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="fsbench-rocket",
         description="Reproduce the experiments of 'Benchmarking File System Benchmarking' (HotOS XIII).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--paper-scale",
@@ -88,7 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--scaled-testbed",
-            type=float,
+            type=_testbed_fraction,
             default=None,
             metavar="FRACTION",
             help="shrink the simulated machine by this factor (e.g. 0.125) for quick runs",
@@ -111,7 +132,100 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="ignore --cache-dir and measure everything fresh",
         )
+        sub.add_argument(
+            "--snapshot",
+            default=None,
+            metavar="PATH",
+            help="start every repetition from this aged state snapshot (see the 'age' command)",
+        )
+
+    age = subparsers.add_parser(
+        "age",
+        help="age a file system and save the state as a reproducible snapshot",
+    )
+    age.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    age.add_argument(
+        "--quick", action="store_true", help="small, fast aging profile (CI-sized)"
+    )
+    age.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="snapshot destination (default: aged-<fs>.snapshot.json)",
+    )
+    age.add_argument(
+        "--seed", type=int, default=777, help="seed of the aging churn (default 777)"
+    )
+    age.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (affects --compare sizing)",
+    )
+    age.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the aged-vs-fresh comparison benchmark and report the delta",
+    )
     return parser
+
+
+def _run_age(args) -> int:
+    """The ``age`` subcommand: age, snapshot, optionally compare."""
+    from repro.aging import (
+        AgingConfig,
+        ChurnAger,
+        quick_aging_config,
+        run_aged_vs_fresh,
+        save_snapshot,
+        snapshot_stack,
+    )
+    from repro.fs.stack import build_stack
+
+    testbed = (
+        scaled_testbed(args.scaled_testbed)
+        if args.scaled_testbed is not None
+        else paper_testbed()
+    )
+    aging = quick_aging_config(seed=args.seed) if args.quick else AgingConfig(seed=args.seed)
+    out = args.out if args.out else f"aged-{args.fs}.snapshot.json"
+
+    if args.compare:
+        import shutil
+        import tempfile
+
+        # The experiment names its snapshots itself; give it a private
+        # directory so nothing alongside --out can be clobbered, then move
+        # the produced snapshot to the requested destination.
+        with tempfile.TemporaryDirectory(prefix="fsbench-age-") as scratch:
+            result = run_aged_vs_fresh(
+                fs_types=(args.fs,),
+                testbed=testbed,
+                aging=aging,
+                quick=args.quick,
+                snapshot_dir=scratch,
+            )
+            cell = result.cells[args.fs]
+            shutil.move(cell.snapshot_path, out)
+            cell.snapshot_path = out
+        print(cell.aging.render())
+        print()
+        print(result.render())
+        return 0
+
+    stack = build_stack(args.fs, testbed=testbed, seed=aging.seed)
+    result = ChurnAger(aging).age(stack)
+    snapshot = snapshot_stack(stack)
+    save_snapshot(snapshot, out)
+    print(result.render())
+    print(f"Saved {snapshot.describe()}")
+    print(f"  -> {out}")
+    print(
+        "Replay any benchmark from this exact state with "
+        f"'fsbench-rocket suite --fs {args.fs} --snapshot {out}'."
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,20 +253,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "zoom":
         print(run_transition_zoom(fs_type=args.fs, scale=scale).render())
         return 0
+    if args.command == "age":
+        return _run_age(args)
     if args.command in ("suite", "survey"):
         fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
         testbed = (
-            scaled_testbed(args.scaled_testbed) if args.scaled_testbed else paper_testbed()
+            scaled_testbed(args.scaled_testbed)
+            if args.scaled_testbed is not None
+            else paper_testbed()
         )
         cache_dir = None if args.no_cache else args.cache_dir
+        if args.snapshot is not None:
+            # Validate the snapshot up front so a bad path or a file-system
+            # mismatch is a clean usage error; failures later in the run
+            # (cache I/O, worker errors) still propagate with tracebacks.
+            from repro.aging.snapshot import load_snapshot_cached
+
+            try:
+                snapshot_fs = load_snapshot_cached(args.snapshot).fs_type
+            except (OSError, ValueError) as error:
+                print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+                return 2
+            if any(fs != snapshot_fs for fs in fs_types):
+                print(
+                    f"fsbench-rocket: error: snapshot {args.snapshot} holds "
+                    f"{snapshot_fs!r} state; run with --fs {snapshot_fs}",
+                    file=sys.stderr,
+                )
+                return 2
         if args.command == "survey":
             survey = MeasuredSurvey(
-                testbed=testbed, quick=args.quick, n_workers=args.workers, cache_dir=cache_dir
+                testbed=testbed,
+                quick=args.quick,
+                n_workers=args.workers,
+                cache_dir=cache_dir,
+                snapshot_path=args.snapshot,
             )
             print(survey.run(fs_types).render())
             return 0
         suite = NanoBenchmarkSuite(
-            testbed=testbed, quick=args.quick, n_workers=args.workers, cache_dir=cache_dir
+            testbed=testbed,
+            quick=args.quick,
+            n_workers=args.workers,
+            cache_dir=cache_dir,
+            snapshot_path=args.snapshot,
         )
         print(suite_report(suite.run(fs_types)))
         return 0

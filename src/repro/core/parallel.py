@@ -82,6 +82,7 @@ def cache_key(
     config: BenchmarkConfig,
     seed: int,
     testbed: Optional[TestbedConfig] = None,
+    snapshot_fingerprint: Optional[str] = None,
 ) -> str:
     """Stable identity of one measured repetition.
 
@@ -92,6 +93,12 @@ def cache_key(
     ``config.seed + repetition`` for every random source, so repetition 1 of
     a seed-42 run and repetition 0 of a seed-43 run are the same measurement
     and share a cache entry.
+
+    ``snapshot_fingerprint`` identifies the aged starting state when the
+    repetition runs against a restored
+    :class:`~repro.aging.snapshot.StateSnapshot`; it is omitted from the
+    payload when absent so keys of fresh-state runs are unchanged from older
+    versions (existing caches stay valid).
     """
     payload = {
         "cache_format": CACHE_FORMAT_VERSION,
@@ -101,6 +108,8 @@ def cache_key(
         "config": _canonical(replace(config, seed=0, repetitions=1)),
         "seed": int(seed),
     }
+    if snapshot_fingerprint is not None:
+        payload["snapshot"] = str(snapshot_fingerprint)
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
@@ -127,6 +136,14 @@ class WorkUnit:
         Label of the :class:`RepetitionSet` this unit belongs to; units with
         the same group are reassembled into one set by
         :meth:`ParallelExecutor.run_repetition_sets`.
+    snapshot_path, snapshot_fingerprint:
+        The aging axis: when set, the repetition starts from the
+        :class:`~repro.aging.snapshot.StateSnapshot` stored at
+        ``snapshot_path`` (a path, so units stay picklable), and the
+        fingerprint of that state joins the cache key.  The fingerprint is
+        a pre-computed optimisation only: :meth:`key` derives it from the
+        snapshot file itself when absent, so a unit carrying just the path
+        can never collide with a fresh-state cache entry.
     """
 
     fs_type: str
@@ -135,6 +152,8 @@ class WorkUnit:
     repetition: int = 0
     testbed: Optional[TestbedConfig] = None
     group: str = ""
+    snapshot_path: Optional[str] = None
+    snapshot_fingerprint: Optional[str] = None
 
     @property
     def seed(self) -> int:
@@ -143,7 +162,20 @@ class WorkUnit:
 
     def key(self) -> str:
         """Cache key of this unit (see :func:`cache_key`)."""
-        return cache_key(self.fs_type, self.spec, self.config, self.seed, self.testbed)
+        fingerprint = self.snapshot_fingerprint
+        if fingerprint is None and self.snapshot_path is not None:
+            # Imported lazily: the aging subsystem sits above the core layer.
+            from repro.aging.snapshot import snapshot_fingerprint
+
+            fingerprint = snapshot_fingerprint(self.snapshot_path)
+        return cache_key(
+            self.fs_type,
+            self.spec,
+            self.config,
+            self.seed,
+            self.testbed,
+            snapshot_fingerprint=fingerprint,
+        )
 
 
 def execute_unit(unit: WorkUnit) -> RunResult:
@@ -155,6 +187,7 @@ def execute_unit(unit: WorkUnit) -> RunResult:
         repetition=unit.repetition,
         testbed=unit.testbed,
         config=unit.config,
+        snapshot_path=unit.snapshot_path,
     )
 
 
@@ -172,6 +205,8 @@ def benchmark_units(
     fs_type: str,
     testbed: Optional[TestbedConfig] = None,
     config: Optional[BenchmarkConfig] = None,
+    snapshot_path: Optional[str] = None,
+    snapshot_fingerprint: Optional[str] = None,
 ) -> List[WorkUnit]:
     """Expand one :class:`~repro.core.benchmark.NanoBenchmark` on one file
     system into its per-repetition work units.
@@ -181,6 +216,9 @@ def benchmark_units(
     even a workload factory with construction-time randomness keeps the
     serial contract and one cache identity per cell.  Factories are not
     picklable; the spec is, which is why units carry the spec itself.
+
+    ``snapshot_path``/``snapshot_fingerprint`` put every repetition on the
+    same aged starting state (see :class:`WorkUnit`).
     """
     effective = config or benchmark.config or BenchmarkConfig()
     effective.validate()  # fail here with a clear error, not per-unit in a worker
@@ -193,6 +231,8 @@ def benchmark_units(
             repetition=repetition,
             testbed=testbed,
             group=group_label(benchmark.name, fs_type),
+            snapshot_path=snapshot_path,
+            snapshot_fingerprint=snapshot_fingerprint,
         )
         for repetition in range(effective.repetitions)
     ]

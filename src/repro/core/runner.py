@@ -147,6 +147,7 @@ def run_single_repetition(
     repetition: int = 0,
     testbed: Optional[TestbedConfig] = None,
     config: Optional[BenchmarkConfig] = None,
+    snapshot_path: Optional[str] = None,
 ) -> "RunResult":
     """Run one repetition of ``spec`` as a pure function of its arguments.
 
@@ -157,8 +158,24 @@ def run_single_repetition(
     random source from ``config.seed + repetition``, calling this in any
     process, in any order, yields results bit-identical to the serial loop
     in :meth:`BenchmarkRunner.run`.
+
+    ``snapshot_path`` is the aging axis: when given, every repetition starts
+    from the aged state stored in that
+    :class:`~repro.aging.snapshot.StateSnapshot` file instead of a
+    freshly-formatted stack.  Restoration is itself deterministic, so the
+    purity (and therefore parallel/caching safety) of this function is
+    unchanged -- the snapshot fingerprint simply becomes part of the
+    measurement's identity (see :func:`repro.core.parallel.cache_key`).
     """
-    runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
+    stack_factory = None
+    if snapshot_path is not None:
+        # Imported lazily: the aging subsystem sits above the core layer.
+        from repro.aging.snapshot import snapshot_stack_factory
+
+        stack_factory = snapshot_stack_factory(snapshot_path)
+    runner = BenchmarkRunner(
+        fs_type=fs_type, testbed=testbed, config=config, stack_factory=stack_factory
+    )
     return runner.run_once(spec, repetition)
 
 

@@ -192,6 +192,14 @@ class NanoBenchmarkSuite:
     cache_dir:
         Directory of a persistent result cache; ``None`` disables caching.
         With a cache, re-running the suite skips every already-measured cell.
+    snapshot_path:
+        The aging axis: when set, every repetition of every benchmark starts
+        from the :class:`~repro.aging.snapshot.StateSnapshot` stored at this
+        path instead of a fresh file system; the snapshot's fingerprint
+        joins the cache key, so fresh and aged measurements never collide.
+        A snapshot holds the state of exactly one file system, so
+        ``fs_types`` at run time must name only that file system (checked
+        before any measurement starts).
     """
 
     def __init__(
@@ -201,6 +209,7 @@ class NanoBenchmarkSuite:
         quick: bool = False,
         n_workers: Optional[int] = 1,
         cache_dir: Optional[str] = None,
+        snapshot_path: Optional[str] = None,
     ) -> None:
         self.testbed = testbed if testbed is not None else paper_testbed()
         self.benchmarks = list(benchmarks) if benchmarks is not None else default_suite(self.testbed, quick=quick)
@@ -214,6 +223,7 @@ class NanoBenchmarkSuite:
             raise ValueError(f"duplicate benchmark names in suite: {', '.join(duplicates)}")
         self.n_workers = n_workers
         self.cache_dir = cache_dir
+        self.snapshot_path = snapshot_path
 
     def make_executor(self) -> ParallelExecutor:
         """The executor this suite dispatches through (one cache per call)."""
@@ -227,10 +237,33 @@ class NanoBenchmarkSuite:
         matching the old serial loop where a repeated ``--fs`` simply
         overwrote the same result cell.
         """
+        fingerprint = None
+        if self.snapshot_path is not None:
+            # Imported lazily: the aging subsystem sits above the core layer.
+            from repro.aging.snapshot import load_snapshot_cached
+
+            snapshot = load_snapshot_cached(self.snapshot_path)
+            fingerprint = snapshot.fingerprint
+            mismatched = [fs for fs in dict.fromkeys(fs_types) if fs != snapshot.fs_type]
+            if mismatched:
+                # Fail before any measurement runs, not per-unit in a worker.
+                raise ValueError(
+                    f"snapshot {self.snapshot_path} holds {snapshot.fs_type!r} state; "
+                    f"it cannot be restored as {', '.join(repr(fs) for fs in mismatched)} "
+                    f"(run with --fs {snapshot.fs_type})"
+                )
         units: List[WorkUnit] = []
         for benchmark in self.benchmarks:
             for fs_type in dict.fromkeys(fs_types):
-                units.extend(benchmark_units(benchmark, fs_type, testbed=self.testbed))
+                units.extend(
+                    benchmark_units(
+                        benchmark,
+                        fs_type,
+                        testbed=self.testbed,
+                        snapshot_path=self.snapshot_path,
+                        snapshot_fingerprint=fingerprint,
+                    )
+                )
         return units
 
     def run(

@@ -408,6 +408,10 @@ class MeasuredSurvey:
         Persistent result-cache directory; re-running a survey skips every
         already-measured (benchmark, file system, repetition) cell.
         ``None`` disables caching.
+    snapshot_path:
+        The aging axis: measure every dimension starting from the aged state
+        in this :class:`~repro.aging.snapshot.StateSnapshot` file instead of
+        a fresh file system (the snapshot fingerprint joins the cache key).
     """
 
     def __init__(
@@ -417,10 +421,15 @@ class MeasuredSurvey:
         quick: bool = False,
         n_workers: Optional[int] = 1,
         cache_dir: Optional[str] = None,
+        snapshot_path: Optional[str] = None,
     ) -> None:
         self.database = database if database is not None else load_paper_survey()
         self.suite = NanoBenchmarkSuite(
-            testbed=testbed, quick=quick, n_workers=n_workers, cache_dir=cache_dir
+            testbed=testbed,
+            quick=quick,
+            n_workers=n_workers,
+            cache_dir=cache_dir,
+            snapshot_path=snapshot_path,
         )
 
     def run(

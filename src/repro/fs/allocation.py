@@ -45,6 +45,92 @@ class AllocatorStats:
         self.split_allocations = 0
 
 
+@dataclass(frozen=True)
+class FreeSpaceStats:
+    """A point-in-time description of an allocator's free space.
+
+    Where :class:`AllocatorStats` counts allocation-side *events*, this
+    describes the free-space *state*: how many free extents exist, how big
+    they are, and how shredded the free space is.  Both allocator families
+    report it identically (via :class:`FreeSpaceInspectionMixin`), which is
+    what the aging subsystem's fragmentation metrics build on.
+    """
+
+    free_blocks: int
+    extent_count: int
+    largest_extent_blocks: int
+    mean_extent_blocks: float
+
+    @property
+    def fragmentation_score(self) -> float:
+        """0.0 = one contiguous free region, approaching 1.0 = fully shredded.
+
+        Defined as ``1 - largest_extent / free_blocks`` (the classic
+        free-space fragmentation measure); 0.0 when there is no free space.
+        """
+        if self.free_blocks <= 0:
+            return 0.0
+        return 1.0 - self.largest_extent_blocks / self.free_blocks
+
+
+class FreeSpaceInspectionMixin:
+    """Uniform free-space reporting and state export for both allocators.
+
+    Both :class:`BlockGroupAllocator` and :class:`ExtentAllocator` keep their
+    free space as a list of per-group :class:`FreeExtentMap` objects in
+    ``self._groups``; this mixin turns that shared representation into a
+    consistent public surface.
+    """
+
+    _groups: List[FreeExtentMap]
+
+    @property
+    def free_blocks(self) -> int:
+        """Total free data blocks across all groups."""
+        return sum(group.free_blocks for group in self._groups)
+
+    def free_runs(self) -> List[BlockRun]:
+        """Every free run on the device, sorted by start block."""
+        runs: List[BlockRun] = []
+        for group in self._groups:
+            runs.extend(group.runs())
+        runs.sort()
+        return runs
+
+    def free_extent_count(self) -> int:
+        """Number of free extents across all groups."""
+        return sum(len(group) for group in self._groups)
+
+    def largest_free_run(self) -> int:
+        """Size (in blocks) of the largest free run anywhere on the device."""
+        return max((group.largest_run() for group in self._groups), default=0)
+
+    def free_space_stats(self) -> FreeSpaceStats:
+        """Point-in-time free-space statistics (see :class:`FreeSpaceStats`)."""
+        free = self.free_blocks
+        count = self.free_extent_count()
+        return FreeSpaceStats(
+            free_blocks=free,
+            extent_count=count,
+            largest_extent_blocks=self.largest_free_run(),
+            mean_extent_blocks=free / count if count else 0.0,
+        )
+
+    # ------------------------------------------------------- snapshot support
+    def export_free_state(self) -> List[List[BlockRun]]:
+        """Per-group free-run lists, suitable for JSON serialisation."""
+        return [group.runs() for group in self._groups]
+
+    def restore_free_state(self, state: List[List[BlockRun]]) -> None:
+        """Overwrite the free maps with previously exported state."""
+        if len(state) != len(self._groups):
+            raise ValueError(
+                f"snapshot has {len(state)} allocator groups, allocator has {len(self._groups)}"
+            )
+        for group, runs in zip(self._groups, state):
+            group.replace_runs([(int(start), int(count)) for start, count in runs])
+
+
 class FreeExtentMap:
     """A sorted map of free block runs supporting split and coalesce.
 
@@ -65,6 +151,22 @@ class FreeExtentMap:
     def runs(self) -> List[BlockRun]:
         """Snapshot of the free runs (sorted by start block)."""
         return list(zip(self._starts, self._counts))
+
+    def replace_runs(self, runs: List[BlockRun]) -> None:
+        """Overwrite the free map with an explicit run list (snapshot restore).
+
+        Runs must be sorted by start block, non-overlapping and non-adjacent
+        -- exactly what :meth:`runs` produces; an empty list means the map is
+        fully allocated.
+        """
+        for (start, count), (next_start, _) in zip(runs, runs[1:]):
+            if start + count >= next_start:
+                raise ValueError(f"free runs overlap or touch at block {next_start}")
+        if any(count <= 0 for _, count in runs):
+            raise ValueError("free run counts must be positive")
+        self._starts = [start for start, _ in runs]
+        self._counts = [count for _, count in runs]
+        self.free_blocks = sum(self._counts)
 
     def largest_run(self) -> int:
         """Size of the largest free run (0 when empty)."""
@@ -146,7 +248,7 @@ class FreeExtentMap:
         self.free_blocks += count
 
 
-class BlockGroupAllocator:
+class BlockGroupAllocator(FreeSpaceInspectionMixin):
     """Ext2-style allocator: the device is split into fixed-size block groups.
 
     Allocation requests carry a *goal* group (typically the group holding the
@@ -202,11 +304,6 @@ class BlockGroupAllocator:
             remaining -= size
 
     # ------------------------------------------------------------ inspection
-    @property
-    def free_blocks(self) -> int:
-        """Total free data blocks across all groups."""
-        return sum(group.free_blocks for group in self._groups)
-
     def group_of_block(self, block: int) -> int:
         """Index of the group containing ``block``."""
         if block < self.reserved_blocks:
@@ -284,7 +381,7 @@ class BlockGroupAllocator:
         self.stats.blocks_freed += count
 
 
-class ExtentAllocator:
+class ExtentAllocator(FreeSpaceInspectionMixin):
     """XFS-style allocator over a handful of large allocation groups.
 
     Allocations prefer a single contiguous extent (best fit by size); only
@@ -318,11 +415,6 @@ class ExtentAllocator:
             self._groups.append(FreeExtentMap(size, first_block=block))
             block += size
         self.group_count = len(self._groups)
-
-    @property
-    def free_blocks(self) -> int:
-        """Total free blocks across allocation groups."""
-        return sum(group.free_blocks for group in self._groups)
 
     def group_of_block(self, block: int) -> int:
         """Index of the allocation group containing ``block``."""

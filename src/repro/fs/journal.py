@@ -174,3 +174,13 @@ class Journal:
         if not self._pending_checkpoint_blocks:
             return []
         return self._checkpoint()
+
+    # ------------------------------------------------------- snapshot support
+    def export_state(self) -> dict:
+        """The journal's mutable position state, for state snapshots."""
+        return {"head": self._head, "pending": list(self._pending_checkpoint_blocks)}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore state exported by :meth:`export_state`."""
+        self._head = int(state["head"])
+        self._pending_checkpoint_blocks = [int(block) for block in state["pending"]]

@@ -564,6 +564,19 @@ class VFS:
         self.clock.advance(latency)
         return latency
 
+    def mkdirs_uncharged(self, path: str) -> None:
+        """Create every missing directory component of ``path`` (mkdir -p).
+
+        No time is charged: this is a setup helper for trace replay, aging
+        and fileset construction, not a measured operation.
+        """
+        components = [c for c in path.split("/") if c]
+        current = ""
+        for component in components:
+            current += "/" + component
+            if not self.fs.exists(current):
+                self.fs.mkdir(current, self.clock.now_ns)
+
     def sync(self) -> float:
         """Write back everything dirty (like ``sync(2)``)."""
         latency = self._writeback_keys(self.cache.dirty_keys(), synchronous=True)

@@ -104,6 +104,18 @@ class EvictionPolicy(ABC):
     def clear(self) -> None:
         """Forget everything."""
 
+    @abstractmethod
+    def resident_order(self) -> List[Hashable]:
+        """Resident keys ordered so that re-inserting them into a fresh policy
+        best reproduces this policy's state (next victim first).
+
+        State snapshots (:mod:`repro.aging.snapshot`) persist this order and
+        rebuild the policy by replaying inserts; every policy must implement
+        it so snapshotting can never silently fall back to an arbitrary
+        order.  Ghost lists and reference bits are not captured -- the
+        reconstruction is an approximation, but a deterministic one.
+        """
+
 
 class LRUPolicy(EvictionPolicy):
     """Strict least-recently-used ordering."""
@@ -126,6 +138,9 @@ class LRUPolicy(EvictionPolicy):
 
     def clear(self) -> None:
         self._order.clear()
+
+    def resident_order(self) -> List[Hashable]:
+        return list(self._order)
 
 
 class FIFOPolicy(EvictionPolicy):
@@ -150,6 +165,9 @@ class FIFOPolicy(EvictionPolicy):
 
     def clear(self) -> None:
         self._order.clear()
+
+    def resident_order(self) -> List[Hashable]:
+        return list(self._order)
 
 
 class ClockPolicy(EvictionPolicy):
@@ -191,6 +209,9 @@ class ClockPolicy(EvictionPolicy):
     def clear(self) -> None:
         self._ref.clear()
         self._ring.clear()
+
+    def resident_order(self) -> List[Hashable]:
+        return list(self._ring)
 
 
 class ARCPolicy(EvictionPolicy):
@@ -268,6 +289,9 @@ class ARCPolicy(EvictionPolicy):
         self.b1.clear()
         self.b2.clear()
 
+    def resident_order(self) -> List[Hashable]:
+        return list(self.t1) + list(self.t2)
+
 
 class TwoQPolicy(EvictionPolicy):
     """The 2Q algorithm: a FIFO probation queue, a ghost queue and an LRU main queue."""
@@ -318,6 +342,9 @@ class TwoQPolicy(EvictionPolicy):
         self.a1in.clear()
         self.a1out.clear()
         self.am.clear()
+
+    def resident_order(self) -> List[Hashable]:
+        return list(self.a1in) + list(self.am)
 
 
 def _make_policy(policy: CachePolicy, capacity_pages: int) -> EvictionPolicy:
@@ -480,6 +507,34 @@ class PageCache:
         self._dirty.clear()
         self._policy.clear()
         return dropped
+
+    # ------------------------------------------------------- snapshot support
+    def export_state(self) -> Tuple[List[PageKey], List[PageKey]]:
+        """``(resident, dirty)`` where ``resident`` is in restore order.
+
+        Replaying ``insert`` over the resident list (dirty bits applied)
+        deterministically reconstructs the cache, including the eviction
+        policy's bookkeeping (see :meth:`EvictionPolicy.resident_order`).
+        """
+        order = self._policy.resident_order()
+        resident = [key for key in order if key in self._resident]
+        # Residency is the cache's source of truth; anything a policy failed
+        # to report is appended in sorted (still deterministic) order.
+        resident += sorted(self._resident.difference(resident))
+        return resident, sorted(self._dirty)
+
+    def restore_state(self, resident: List[PageKey], dirty: List[PageKey]) -> None:
+        """Rebuild cache contents exported by :meth:`export_state`.
+
+        Existing contents are dropped; statistics are reset afterwards so
+        the replayed inserts leave no trace in the counters.  A smaller
+        capacity than at export time simply evicts during the replay.
+        """
+        self.drop_caches()
+        dirty_set = set(dirty)
+        for key in resident:
+            self.insert(key, dirty=key in dirty_set)
+        self.stats.reset()
 
     def resize(self, capacity_pages: int) -> List[Tuple[PageKey, bool]]:
         """Change the capacity; shrinking evicts pages and returns them."""

@@ -163,13 +163,9 @@ class TraceReplayer:
         return fd
 
     def _mkdirs_for(self, path: str) -> None:
-        vfs = self.stack.vfs
-        components = [c for c in path.split("/") if c][:-1]
-        current = ""
-        for component in components:
-            current += "/" + component
-            if not vfs.fs.exists(current):
-                vfs.fs.mkdir(current, vfs.clock.now_ns)
+        parent = "/".join(path.split("/")[:-1])
+        if parent:
+            self.stack.vfs.mkdirs_uncharged(parent)
 
     def replay(self, records: Iterable[TraceRecord]) -> List[float]:
         """Replay the records; returns per-operation latencies in ns."""

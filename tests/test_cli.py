@@ -91,7 +91,7 @@ class TestFigureCommands:
 
     def test_suite_command(self, monkeypatch, capsys):
         class _FakeSuite:
-            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
+            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None, snapshot_path=None):
                 self.quick = quick
 
             def run(self, fs_types):
@@ -109,7 +109,7 @@ class TestParallelFlags:
     class _FakeSuite:
         captured = {}
 
-        def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
+        def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None, snapshot_path=None):
             type(self).captured = {"n_workers": n_workers, "cache_dir": cache_dir}
 
         def run(self, fs_types):
@@ -131,7 +131,7 @@ class TestParallelFlags:
         captured = {}
 
         class _FakeSurvey:
-            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None):
+            def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None, snapshot_path=None):
                 captured.update(n_workers=n_workers, cache_dir=cache_dir, quick=quick)
 
             def run(self, fs_types):

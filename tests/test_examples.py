@@ -21,6 +21,7 @@ ALL_EXAMPLES = [
     "survey_report.py",
     "macro_personalities.py",
     "trace_replay_demo.py",
+    "aging_demo.py",
 ]
 
 
@@ -60,6 +61,14 @@ class TestFastExamplesRun:
         output = capsys.readouterr().out
         assert "replayed" in output
         assert "xfs" in output
+
+    def test_aging_demo_runs_quick(self, capsys):
+        module = load_example("aging_demo.py")
+        assert module.main(["--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Aged with churn" in output
+        assert "fresh ext2" in output
+        assert "aged  ext2" in output
 
     def test_quickstart_runs_quick(self, capsys):
         module = load_example("quickstart.py")
