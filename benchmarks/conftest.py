@@ -10,7 +10,22 @@ pytest-benchmark JSON/summary output.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is a full experiment simulation: mark them all slow.
+
+    The default local loop (`pytest -q`) skips slow tests via the `-m "not
+    slow"` addopts; CI and explicit `-m ""` runs still execute them.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -31,7 +31,7 @@ from repro.aging import (
     save_snapshot,
     snapshot_stack,
 )
-from repro.fs.stack import build_stack
+from repro.fs.stack import DEFAULT_FS_TYPES, build_stack
 from repro.storage.config import paper_testbed, scaled_testbed
 from repro.workloads import PostmarkConfig, run_postmark
 
@@ -39,7 +39,7 @@ from repro.workloads import PostmarkConfig, run_postmark
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run on a 1/16-scale machine")
-    parser.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    parser.add_argument("--fs", default="ext2", choices=DEFAULT_FS_TYPES)
     args = parser.parse_args(argv)
 
     testbed = scaled_testbed(0.0625) if args.quick else paper_testbed()

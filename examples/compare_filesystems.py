@@ -20,6 +20,7 @@ import argparse
 
 from repro.core.report import suite_report
 from repro.core.suite import NanoBenchmarkSuite
+from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.analysis.comparison import compare_repetition_sets
 from repro.storage.config import paper_testbed, scaled_testbed
 
@@ -30,13 +31,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fs",
         action="append",
-        choices=("ext2", "ext3", "xfs"),
-        help="file systems to compare (repeatable; default: all three)",
+        choices=DEFAULT_FS_TYPES,
+        help="file systems to compare (repeatable; default: all four)",
     )
     args = parser.parse_args(argv)
 
     testbed = scaled_testbed(0.125) if args.quick else paper_testbed()
-    fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
+    fs_types = tuple(args.fs) if args.fs else DEFAULT_FS_TYPES
 
     suite = NanoBenchmarkSuite(testbed=testbed, quick=args.quick)
     result = suite.run(fs_types=fs_types)

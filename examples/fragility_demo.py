@@ -22,6 +22,7 @@ from repro.analysis.regimes import regime_ranges
 from repro.core.report import ascii_plot, sweep_table
 from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.core.selfscaling import SelfScalingBenchmark
+from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.storage.config import paper_testbed, scaled_testbed
 from repro.workloads.micro import random_read_workload
 
@@ -31,7 +32,7 @@ MiB = 1024 * 1024
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run on a 1/8-scale machine")
-    parser.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    parser.add_argument("--fs", default="ext2", choices=DEFAULT_FS_TYPES)
     args = parser.parse_args(argv)
 
     testbed = scaled_testbed(0.125) if args.quick else paper_testbed()

@@ -27,7 +27,7 @@ from repro.workloads import (
     varmail_personality,
     webserver_personality,
 )
-from repro.fs.stack import build_stack
+from repro.fs.stack import DEFAULT_FS_TYPES, build_stack
 
 
 def describe_run(name, repetitions, dimensions):
@@ -49,7 +49,7 @@ def describe_run(name, repetitions, dimensions):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run on a 1/8-scale machine")
-    parser.add_argument("--fs", default="ext3", choices=("ext2", "ext3", "xfs"))
+    parser.add_argument("--fs", default="ext3", choices=DEFAULT_FS_TYPES)
     args = parser.parse_args(argv)
 
     testbed = scaled_testbed(0.125) if args.quick else paper_testbed()

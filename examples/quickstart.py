@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 
 from repro import BenchmarkConfig, BenchmarkRunner, WarmupMode, random_read_workload
+from repro.fs import DEFAULT_FS_TYPES
 from repro.analysis.fragility import assess_repetitions
 from repro.analysis.regimes import classify_repetitions
 from repro.core.report import ReportBuilder, histogram_report
@@ -29,7 +30,7 @@ MiB = 1024 * 1024
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run on a 1/8-scale machine")
-    parser.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    parser.add_argument("--fs", default="ext2", choices=DEFAULT_FS_TYPES)
     args = parser.parse_args(argv)
 
     testbed = scaled_testbed(0.125) if args.quick else paper_testbed()

@@ -113,7 +113,7 @@ def default_benchmark_config(quick: bool = False) -> BenchmarkConfig:
 
 
 def run_aged_vs_fresh(
-    fs_types: Sequence[str] = ("ext2", "xfs"),
+    fs_types: Sequence[str] = ("ext2", "ext4", "xfs"),
     testbed: Optional[TestbedConfig] = None,
     aging: Optional[AgingConfig] = None,
     config: Optional[BenchmarkConfig] = None,

@@ -85,6 +85,11 @@ class FragmentationReport:
     free_space:
         Allocator-side free-space statistics, or ``None`` when the file
         system model exposes no allocator.
+    delalloc_reserved_bytes:
+        Bytes reserved by delayed allocation but not yet backed by extents
+        (ext4/xfs).  Files that are pure reservations have no layout yet and
+        are excluded from the per-file scores, so a non-zero value here says
+        the layout metrics describe only the materialised part of the state.
     """
 
     fs_name: str
@@ -94,6 +99,7 @@ class FragmentationReport:
     worst_layout_score: float
     extent_histogram: Dict[str, int] = field(default_factory=dict)
     free_space: Optional[FreeSpaceStats] = None
+    delalloc_reserved_bytes: int = 0
 
     def render(self) -> str:
         """Multi-line human-readable report."""
@@ -113,6 +119,10 @@ class FragmentationReport:
                 f"  free space: {free.free_blocks} blocks in {free.extent_count} extents "
                 f"(largest {free.largest_extent_blocks}, "
                 f"fragmentation {free.fragmentation_score:.3f})"
+            )
+        if self.delalloc_reserved_bytes:
+            lines.append(
+                f"  delalloc: {self.delalloc_reserved_bytes} bytes reserved, not yet allocated"
             )
         return "\n".join(lines)
 
@@ -136,6 +146,7 @@ def measure_fragmentation(fs: FileSystem) -> FragmentationReport:
         if allocator is not None and hasattr(allocator, "free_space_stats")
         else None
     )
+    reserved = getattr(fs, "delalloc_reserved_bytes", None)
     return FragmentationReport(
         fs_name=fs.name,
         utilization=fs.utilization(),
@@ -144,6 +155,7 @@ def measure_fragmentation(fs: FileSystem) -> FragmentationReport:
         worst_layout_score=min(scores, default=1.0),
         extent_histogram=dict(sorted(histogram.items(), key=lambda kv: _bucket_sort_key(kv[0]))),
         free_space=free_space,
+        delalloc_reserved_bytes=reserved() if callable(reserved) else 0,
     )
 
 

@@ -4,9 +4,12 @@ The paper's core complaint is that published results never describe the
 benchmark's *state* -- cache contents, on-disk layout, device fullness -- so
 nobody can reproduce them.  A :class:`StateSnapshot` is that description made
 executable: it serialises the full state of a :class:`~repro.fs.stack.StorageStack`
-(namespace, inode extent maps, allocator free maps, journal position, page
-cache contents, virtual clock) to a plain JSON document that can be archived
-next to a paper, diffed, and restored anywhere.
+(namespace, inode extent maps, allocator free maps, journal position,
+delayed-allocation reservations, page cache contents, virtual clock) to a
+plain JSON document that can be archived next to a paper, diffed, and
+restored anywhere.  Every registered file system -- ext2, ext3, ext4, xfs --
+round-trips: the delalloc and journal sections cover the ext4/xfs write
+paths, and the allocator section covers all three allocator families.
 
 Determinism is the contract: ``restore_stack`` is a pure function of the
 snapshot and its arguments, so two restores -- in the same process, in

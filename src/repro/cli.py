@@ -3,14 +3,19 @@
 Examples::
 
     fsbench-rocket table1
+    fsbench-rocket table1 --measured --quick
     fsbench-rocket figure1 --fs ext2
     fsbench-rocket figure2 --paper-scale
-    fsbench-rocket suite --quick --fs ext2 --fs xfs
+    fsbench-rocket suite --quick --fs ext4 --fs xfs
     fsbench-rocket suite --workers 4 --cache-dir ~/.cache/fsbench-rocket
     fsbench-rocket survey --quick --workers 0
-    fsbench-rocket age --quick --fs ext2 --out aged-ext2.snapshot.json
-    fsbench-rocket age --quick --compare
-    fsbench-rocket suite --quick --fs ext2 --snapshot aged-ext2.snapshot.json
+    fsbench-rocket age --quick --fs ext4 --out aged-ext4.snapshot.json
+    fsbench-rocket age --quick --fs ext4 --compare
+    fsbench-rocket suite --quick --fs ext4 --snapshot aged-ext4.snapshot.json
+
+Suite, survey and age default to the full filesystem grid (ext2, ext3,
+ext4, xfs where applicable); ``table1 --measured`` appends the measured
+survey counterpart to the literature table.
 
 ``--workers`` fans the (benchmark x file system x repetition) grid out over
 worker processes (``0`` = one per CPU) with bit-identical results;
@@ -32,6 +37,7 @@ from typing import List, Optional
 from repro.core.report import suite_report
 from repro.core.suite import NanoBenchmarkSuite
 from repro.core.survey import MeasuredSurvey
+from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.experiments import (
     default_scale,
     paper_scale,
@@ -88,13 +94,50 @@ def _build_parser() -> argparse.ArgumentParser:
     ):
         sub = subparsers.add_parser(name, help=f"regenerate {name}")
         if needs_fs:
-            sub.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+            sub.add_argument("--fs", default="ext2", choices=DEFAULT_FS_TYPES)
         if name == "figure2":
             sub.add_argument(
                 "--fs",
                 action="append",
-                choices=("ext2", "ext3", "xfs"),
-                help="file systems to compare (repeatable; default all three)",
+                choices=DEFAULT_FS_TYPES,
+                help="file systems to compare (repeatable; default the paper's three)",
+            )
+        if name == "table1":
+            sub.add_argument(
+                "--measured",
+                action="store_true",
+                help="also run the measured survey counterpart across the full file-system grid",
+            )
+            sub.add_argument(
+                "--fs",
+                action="append",
+                choices=DEFAULT_FS_TYPES,
+                help="file systems for --measured (repeatable; default all four)",
+            )
+            sub.add_argument(
+                "--quick",
+                action="store_true",
+                help="smaller filesets and fewer repetitions for --measured",
+            )
+            sub.add_argument(
+                "--scaled-testbed",
+                type=_testbed_fraction,
+                default=None,
+                metavar="FRACTION",
+                help="shrink the simulated machine by this factor for --measured",
+            )
+            sub.add_argument(
+                "--workers",
+                type=_nonnegative_int,
+                default=1,
+                metavar="N",
+                help="worker processes for --measured (0 = one per CPU; default 1, serial)",
+            )
+            sub.add_argument(
+                "--cache-dir",
+                default=None,
+                metavar="DIR",
+                help="persist --measured cells here and skip them on re-runs (default: no cache)",
             )
 
     suite = subparsers.add_parser("suite", help="run the multi-dimensional nano-benchmark suite")
@@ -103,7 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="measure every evaluation dimension across file systems (Table 1's executable counterpart)",
     )
     for sub in (suite, survey):
-        sub.add_argument("--fs", action="append", choices=("ext2", "ext3", "xfs"))
+        sub.add_argument("--fs", action="append", choices=DEFAULT_FS_TYPES)
         sub.add_argument(
             "--quick", action="store_true", help="smaller filesets and fewer repetitions"
         )
@@ -143,7 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "age",
         help="age a file system and save the state as a reproducible snapshot",
     )
-    age.add_argument("--fs", default="ext2", choices=("ext2", "ext3", "xfs"))
+    age.add_argument("--fs", default="ext2", choices=DEFAULT_FS_TYPES)
     age.add_argument(
         "--quick", action="store_true", help="small, fast aging profile (CI-sized)"
     )
@@ -235,12 +278,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     scale = paper_scale() if args.paper_scale else default_scale()
 
     if args.command == "table1":
-        print(run_table1().render())
+        measured_fs_types = None
+        if not args.measured and (
+            args.fs
+            or args.quick
+            or args.scaled_testbed is not None
+            or args.workers != 1
+            or args.cache_dir is not None
+        ):
+            # These flags only configure the measured counterpart; silently
+            # ignoring them would look like the measurement ran.
+            print(
+                "fsbench-rocket: error: --fs/--quick/--scaled-testbed/--workers/"
+                "--cache-dir require --measured",
+                file=sys.stderr,
+            )
+            return 2
+        if args.measured:
+            measured_fs_types = tuple(args.fs) if args.fs else DEFAULT_FS_TYPES
+        testbed = (
+            scaled_testbed(args.scaled_testbed)
+            if args.scaled_testbed is not None
+            else None
+        )
+        print(
+            run_table1(
+                measured_fs_types=measured_fs_types,
+                testbed=testbed,
+                quick=args.quick,
+                n_workers=args.workers,
+                cache_dir=args.cache_dir,
+            ).render()
+        )
         return 0
     if args.command == "figure1":
         print(run_figure1(fs_type=args.fs, scale=scale).render())
         return 0
     if args.command == "figure2":
+        # Figure 2 reproduces the paper's curve, so its default grid stays
+        # the paper's trio; ext4 joins on request via --fs.
         fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
         print(run_figure2(fs_types=fs_types, scale=scale).render())
         return 0
@@ -256,7 +332,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "age":
         return _run_age(args)
     if args.command in ("suite", "survey"):
-        fs_types = tuple(args.fs) if args.fs else ("ext2", "ext3", "xfs")
+        fs_types = tuple(args.fs) if args.fs else DEFAULT_FS_TYPES
         testbed = (
             scaled_testbed(args.scaled_testbed)
             if args.scaled_testbed is not None

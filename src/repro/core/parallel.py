@@ -46,7 +46,10 @@ from repro.workloads.spec import WorkloadSpec
 
 #: Bump when the simulation's physics change incompatibly, so stale caches
 #: from older code cannot satisfy new runs.
-CACHE_FORMAT_VERSION = 1
+#: v2: device-model coherence fixes (track-cache invalidation on overlapping
+#: writes, arrival-order NOOP merging), ext4 model, type-tagged dict keys in
+#: the canonical hash.
+CACHE_FORMAT_VERSION = 2
 
 
 # ------------------------------------------------------------------ hashing
@@ -65,7 +68,16 @@ def _canonical(value):
     if isinstance(value, Enum):
         return value.value
     if isinstance(value, dict):
-        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+        # JSON keys must be strings, but ``str(key)`` alone collides
+        # ``{1: x}`` with ``{"1": x}``, and ``sorted(value.items())`` raises
+        # ``TypeError`` for mixed-type keys.  Tag every key with its type and
+        # sort by the tagged form, which is total and collision-free.
+        return {
+            tagged: _canonical(item)
+            for tagged, item in sorted(
+                (f"{type(key).__name__}:{key!r}", item) for key, item in value.items()
+            )
+        }
     if isinstance(value, (list, tuple)):
         return [_canonical(item) for item in value]
     if value is None or isinstance(value, (str, int, float, bool)):
@@ -97,8 +109,10 @@ def cache_key(
     ``snapshot_fingerprint`` identifies the aged starting state when the
     repetition runs against a restored
     :class:`~repro.aging.snapshot.StateSnapshot`; it is omitted from the
-    payload when absent so keys of fresh-state runs are unchanged from older
-    versions (existing caches stay valid).
+    payload when absent, so within one ``CACHE_FORMAT_VERSION`` fresh-state
+    keys do not depend on the aging feature at all.  (Bumping the format
+    version -- as the v2 physics fixes did -- deliberately invalidates every
+    older cache entry, fresh and aged alike.)
     """
     payload = {
         "cache_format": CACHE_FORMAT_VERSION,

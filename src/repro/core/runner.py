@@ -212,7 +212,7 @@ class BenchmarkRunner:
     Parameters
     ----------
     fs_type:
-        File system to mount (``"ext2"``, ``"ext3"``, ``"xfs"``).
+        File system to mount (``"ext2"``, ``"ext3"``, ``"ext4"``, ``"xfs"``).
     testbed:
         Simulated machine description (defaults to the paper's testbed).
     config:

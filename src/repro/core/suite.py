@@ -28,6 +28,7 @@ from repro.core.parallel import (
 )
 from repro.core.results import RepetitionSet
 from repro.core.runner import BenchmarkConfig, WarmupMode
+from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import (
     create_delete_workload,
@@ -268,7 +269,7 @@ class NanoBenchmarkSuite:
 
     def run(
         self,
-        fs_types: Sequence[str] = ("ext2", "ext3", "xfs"),
+        fs_types: Sequence[str] = DEFAULT_FS_TYPES,
         executor: Optional[ParallelExecutor] = None,
     ) -> SuiteResult:
         """Run every benchmark on every file system.

@@ -34,6 +34,7 @@ from repro.core.dimensions import Coverage, Dimension, DimensionVector
 from repro.core.parallel import ParallelExecutor
 from repro.core.report import format_table
 from repro.core.suite import NanoBenchmarkSuite, SuiteResult
+from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.storage.config import TestbedConfig
 
 
@@ -434,7 +435,7 @@ class MeasuredSurvey:
 
     def run(
         self,
-        fs_types: Sequence[str] = ("ext2", "ext3", "xfs"),
+        fs_types: Sequence[str] = DEFAULT_FS_TYPES,
         executor: Optional[ParallelExecutor] = None,
     ) -> MeasuredSurveyResult:
         """Measure every dimension on every file system.

@@ -1,18 +1,25 @@
-"""Table 1: the benchmark-usage survey.
+"""Table 1: the benchmark-usage survey, and its measured counterpart.
 
 Unlike the figures, Table 1 is data the authors collected by reading 100
 papers; reproducing it means regenerating the table (and its headline
 statistics) from the structured survey dataset shipped with the library, and
 verifying the totals the paper quotes in the text.
+
+:func:`run_table1` can additionally run the *measured* counterpart of the
+table (:class:`~repro.core.survey.MeasuredSurvey`): actual per-dimension
+measurements across the full file-system grid -- ext2, ext3, ext4 and xfs --
+printed next to the literature's usage counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dimensions import Dimension
 from repro.core.survey import (
+    MeasuredSurvey,
+    MeasuredSurveyResult,
     PAPERS_SURVEYED_2009_2010,
     PAPERS_WITH_EVALUATION_2009_2010,
     SurveyDatabase,
@@ -22,9 +29,14 @@ from repro.core.survey import (
 
 @dataclass
 class Table1Result:
-    """The regenerated survey table plus its aggregate checks."""
+    """The regenerated survey table plus its aggregate checks.
+
+    ``measured`` carries the measured-survey counterpart when
+    :func:`run_table1` was asked to produce one.
+    """
 
     database: SurveyDatabase
+    measured: Optional[MeasuredSurveyResult] = None
 
     def row_count(self) -> int:
         """Number of benchmark rows."""
@@ -81,9 +93,35 @@ class Table1Result:
             "Qualitative checks: "
             + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
         )
+        if self.measured is not None:
+            lines.append("")
+            lines.append(self.measured.render())
         return "\n".join(lines)
 
 
-def run_table1() -> Table1Result:
-    """Regenerate Table 1 from the bundled survey dataset."""
-    return Table1Result(database=load_paper_survey())
+def run_table1(
+    measured_fs_types: Optional[Sequence[str]] = None,
+    testbed=None,
+    quick: bool = False,
+    n_workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> Table1Result:
+    """Regenerate Table 1 from the bundled survey dataset.
+
+    When ``measured_fs_types`` is given, also run the measured survey across
+    those file systems (the table's executable counterpart) and attach it to
+    the result; the remaining parameters configure that run exactly as they
+    do :class:`~repro.core.survey.MeasuredSurvey`.
+    """
+    database = load_paper_survey()
+    measured = None
+    if measured_fs_types:
+        survey = MeasuredSurvey(
+            database=database,
+            testbed=testbed,
+            quick=quick,
+            n_workers=n_workers,
+            cache_dir=cache_dir,
+        )
+        measured = survey.run(tuple(measured_fs_types))
+    return Table1Result(database=database, measured=measured)

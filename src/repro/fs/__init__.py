@@ -10,7 +10,8 @@ reproduce the case study and to support the wider nano-benchmark suite:
 * :mod:`repro.fs.journal` -- a write-ahead journal used by the Ext3 and XFS
   models.
 * :mod:`repro.fs.ext2`, :mod:`repro.fs.ext3`, :mod:`repro.fs.xfs` -- the three
-  file systems of the case study.
+  file systems of the case study -- plus :mod:`repro.fs.ext4`, the survey-era
+  hybrid (ext3's ordered journal over extents + delayed allocation).
 * :mod:`repro.fs.vfs` -- the VFS layer that glues path lookup, the page
   cache, readahead, the file system and the block device together and charges
   every operation's latency to the virtual clock.
@@ -34,8 +35,9 @@ from repro.fs.base import (
 )
 from repro.fs.ext2 import Ext2FileSystem
 from repro.fs.ext3 import Ext3FileSystem, JournalMode
+from repro.fs.ext4 import Ext4FileSystem
 from repro.fs.xfs import XfsFileSystem
-from repro.fs.stack import StorageStack, build_stack, FS_REGISTRY
+from repro.fs.stack import StorageStack, build_stack, DEFAULT_FS_TYPES, FS_REGISTRY
 from repro.fs.vfs import VFS, OpenFile
 
 __all__ = [
@@ -53,10 +55,12 @@ __all__ = [
     "IsADirectoryError_",
     "Ext2FileSystem",
     "Ext3FileSystem",
+    "Ext4FileSystem",
     "JournalMode",
     "XfsFileSystem",
     "StorageStack",
     "build_stack",
+    "DEFAULT_FS_TYPES",
     "FS_REGISTRY",
     "VFS",
     "OpenFile",

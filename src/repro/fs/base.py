@@ -325,7 +325,7 @@ class FileSystem(ABC):
     models small and makes their costs independently testable.
     """
 
-    #: Short machine-readable name ("ext2", "ext3", "xfs").
+    #: Short machine-readable name ("ext2", "ext3", "ext4", "xfs").
     name: str = "abstract"
 
     #: Number of pages brought in per cache miss (cluster read size).

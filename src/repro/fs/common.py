@@ -1,10 +1,11 @@
 """Shared machinery for the Unix-like file system models.
 
-Ext2, Ext3 and XFS differ in their allocators, journaling, directory
+Ext2, Ext3, Ext4 and XFS differ in their allocators, journaling, directory
 structures and prefetch (cluster-read) behaviour, but share the namespace
 mechanics.  :class:`UnixFileSystemBase` implements those mechanics once and
 exposes the differences as a handful of well-named knobs and hooks that the
-concrete models override.
+concrete models override.  :class:`DelayedAllocationMixin` implements the
+delalloc write path shared by the XFS and Ext4 models.
 """
 
 from __future__ import annotations
@@ -456,3 +457,91 @@ class UnixFileSystemBase(FileSystem):
     # ------------------------------------------------------------ capacity
     def free_blocks(self) -> int:
         return self.allocator.free_blocks
+
+
+class DelayedAllocationMixin:
+    """Delayed allocation (delalloc) shared by the XFS and Ext4 models.
+
+    Writes *reserve* space (cheap, in-memory bookkeeping) instead of
+    allocating blocks; the reservation is converted into real, contiguous
+    extents when something forces it -- a flush, an fsync, a read of the
+    written range, or (on ext4) a journal commit.  Batching many small
+    appends into one allocation call is what keeps delalloc file layouts
+    contiguous.
+
+    Mix in *before* :class:`UnixFileSystemBase` in the MRO and call
+    :meth:`_init_delalloc` at the end of ``__init__``.
+    """
+
+    #: CPU cost of taking a delalloc reservation (in-memory only).
+    _DELALLOC_RESERVE_CPU_NS = 900.0
+
+    def _init_delalloc(self, enabled: bool) -> None:
+        self.delayed_allocation = enabled
+        #: Bytes reserved (delalloc) but not yet allocated, per inode number.
+        self._delalloc_reservations: Dict[int, int] = {}
+
+    # ----------------------------------------------------------- reservations
+    def allocate_range(
+        self, inode: Inode, offset_bytes: int, nbytes: int, now_ns: float
+    ) -> OperationCost:
+        if not self.delayed_allocation:
+            return super().allocate_range(inode, offset_bytes, nbytes, now_ns)
+
+        # Reserve now, allocate at flush time: extend the logical size and
+        # remember the reservation; the actual extents are created lazily.
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        end = offset_bytes + nbytes
+        reserved = self._delalloc_reservations.get(inode.number, 0)
+        already_mapped_bytes = inode.blocks_allocated() * self.block_size
+        new_reservation = max(reserved, end - already_mapped_bytes)
+        if new_reservation > 0:
+            self._delalloc_reservations[inode.number] = new_reservation
+        else:
+            # Overwriting an already-mapped range reserves nothing; a 0-byte
+            # entry would still trigger commit-time resolution work.
+            self._delalloc_reservations.pop(inode.number, None)
+        if end > inode.size_bytes:
+            inode.size_bytes = end
+        inode.mtime_ns = now_ns
+        return OperationCost(cpu_ns=self._cpu(self._DELALLOC_RESERVE_CPU_NS))
+
+    def flush_delalloc(self, inode: Inode, now_ns: float) -> OperationCost:
+        """Convert outstanding reservations into real, contiguous extents."""
+        reserved = self._delalloc_reservations.pop(inode.number, 0)
+        if reserved <= 0:
+            return OperationCost()
+        start_byte = inode.blocks_allocated() * self.block_size
+        return super().allocate_range(inode, start_byte, reserved, now_ns)
+
+    def delalloc_reserved_bytes(self) -> int:
+        """Total bytes reserved but not yet backed by extents."""
+        return sum(self._delalloc_reservations.values())
+
+    # ------------------------------------------------------------ interactions
+    def map_read(self, inode: Inode, first_page: int, page_count: int) -> List[IORequest]:
+        # Reads force delayed allocations to materialise first (like a flush).
+        requests: List[IORequest] = []
+        if self.delayed_allocation and self._delalloc_reservations.get(inode.number):
+            cost = self.flush_delalloc(inode, inode.mtime_ns)
+            # The flush's device work (journal commit, checkpoint writes on
+            # ext4; log writes on xfs) must reach the device with this read,
+            # so it joins the returned batch.  The rest of the flush cost --
+            # CPU, barrier flushes, and the dirty metadata pages
+            # (bitmap/mapping/inode-table) it would mark -- is elided: the
+            # map_read contract can only carry device requests.  A deliberate
+            # simplification of the read-forces-materialisation model.
+            requests.extend(cost.device_requests)
+        requests.extend(super().map_read(inode, first_page, page_count))
+        return requests
+
+    def unlink(self, path: str, now_ns: float) -> OperationCost:
+        # Dropping a never-flushed file cancels its reservation outright;
+        # without this, stale reservations of dead inodes accumulate (and
+        # leak into state snapshots).
+        inode = self.resolve(path)
+        cost = super().unlink(path, now_ns)
+        if inode.nlink <= 0:
+            self._delalloc_reservations.pop(inode.number, None)
+        return cost

@@ -28,11 +28,35 @@ from repro.fs.journal import Journal, Transaction
 
 
 class JournalMode(str, Enum):
-    """Ext3 journaling modes."""
+    """Ext3/Ext4 journaling modes (the ``data=`` mount option)."""
 
     ORDERED = "ordered"
     WRITEBACK = "writeback"
     JOURNAL = "journal"
+
+
+def commit_journal_transaction(
+    fs, metadata_blocks: List[int], journal_mode: "JournalMode", journal_cpu_ns: float
+) -> OperationCost:
+    """Commit ``metadata_blocks`` to ``fs.journal`` and price the commit.
+
+    The commit tail shared by the Ext3 and Ext4 models: build the
+    transaction (with bounded data logging in ``data=journal`` mode), commit
+    it, and account CPU, device requests, barrier and stats on ``fs``.
+    """
+    transaction = Transaction()
+    for block in metadata_blocks:
+        transaction.add_block(block)
+    if journal_mode is JournalMode.JOURNAL:
+        # Data journaling also logs (a bounded number of) data blocks.
+        transaction.data_blocks = min(16, len(metadata_blocks) * 2)
+    requests, needs_barrier = fs.journal.commit(transaction)
+    cost = OperationCost(cpu_ns=fs._cpu(journal_cpu_ns))
+    cost.device_requests.extend(requests)
+    if needs_barrier:
+        cost.flushes += 1
+    fs.stats.journal_commits += 1
+    return cost
 
 
 class Ext3FileSystem(Ext2FileSystem):
@@ -67,19 +91,9 @@ class Ext3FileSystem(Ext2FileSystem):
         )
 
     def _journal_transaction(self, metadata_blocks: List[int]) -> OperationCost:
-        transaction = Transaction()
-        for block in metadata_blocks:
-            transaction.add_block(block)
-        if self.journal_mode is JournalMode.JOURNAL:
-            # Data journaling also logs (a bounded number of) data blocks.
-            transaction.data_blocks = min(16, len(metadata_blocks) * 2)
-        requests, needs_barrier = self.journal.commit(transaction)
-        cost = OperationCost(cpu_ns=self._cpu(self._JOURNAL_CPU_NS))
-        cost.device_requests.extend(requests)
-        if needs_barrier:
-            cost.flushes += 1
-        self.stats.journal_commits += 1
-        return cost
+        return commit_journal_transaction(
+            self, metadata_blocks, self.journal_mode, self._JOURNAL_CPU_NS
+        )
 
     def fsync_cost(self, inode, dirty_data_pages: int, now_ns: float) -> OperationCost:
         cost = OperationCost(cpu_ns=self._cpu(self._FSYNC_BASE_NS))

@@ -1,0 +1,167 @@
+"""Ext4 model: ext3's ordered journal over an extent-based, delalloc layout.
+
+Ext4 is the fourth filesystem of the survey era the paper covers, and it is
+a genuine hybrid of the two families already modelled here:
+
+* from the **ext3 family** it keeps the write-ahead journal with the three
+  ``data=`` mount modes (ordered by default) and the block-group on-disk
+  geometry (128 MiB groups with per-group metadata);
+* from the **xfs family** it takes extent-based file mapping, delayed
+  allocation (:class:`~repro.fs.common.DelayedAllocationMixin`) and a
+  contiguous multi-block allocator
+  (:class:`~repro.fs.allocation.MultiBlockAllocator`), plus HTree (B-tree
+  style) directories and aggressive readahead.
+
+The combination creates one interaction that exists in neither parent model
+and is ext4's defining quirk: **delayed allocations must resolve before a
+journal commit**.  In ``data=ordered`` mode the commit record may only be
+written once the transaction's data is on disk, and data that is still a
+delalloc reservation has no disk location yet -- so every journal commit
+first materialises outstanding reservations (allocating real extents and
+logging the affected inodes in the same transaction).  This is why ext4
+files written between metadata bursts end up with more, smaller extents
+than xfs files under the same workload, while an undisturbed stream of
+appends stays as contiguous as xfs: the journal keeps "harvesting" the
+reservations early.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.fs.allocation import MultiBlockAllocator
+from repro.fs.base import Inode, OperationCost
+from repro.fs.common import DelayedAllocationMixin, UnixFileSystemBase
+from repro.fs.ext3 import JournalMode, commit_journal_transaction
+from repro.fs.journal import Journal
+
+
+class Ext4FileSystem(DelayedAllocationMixin, UnixFileSystemBase):
+    """A behavioural model of Linux Ext4 (journal + extents + delalloc)."""
+
+    name = "ext4"
+    cluster_pages = 8
+    directory_scan_is_linear = False  # HTree directories
+    inode_size_bytes = 256
+    metadata_cpu_factor = 1.2
+
+    #: CPU cost of journal bookkeeping per transaction (handle + buffers);
+    #: slightly below ext3's because jbd2 batches handles more aggressively.
+    _JOURNAL_CPU_NS = 1_800.0
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_size: int = 4096,
+        blocks_per_group: int = 32768,
+        journal_size_bytes: int = 128 * 1024 * 1024,
+        journal_mode: JournalMode = JournalMode.ORDERED,
+        use_barriers: bool = True,
+        delayed_allocation: bool = True,
+    ) -> None:
+        self._blocks_per_group = blocks_per_group
+        super().__init__(capacity_bytes, block_size)
+        self.journal_mode = JournalMode(journal_mode)
+        journal_blocks = max(8, journal_size_bytes // block_size)
+        self.journal = Journal(
+            start_block=self._INODE_TABLE_START_BLOCK + 4096,
+            size_blocks=journal_blocks,
+            block_size=block_size,
+            use_barriers=use_barriers,
+        )
+        #: Reentrancy guard: resolving delalloc inside a commit allocates
+        #: blocks, which itself wants to journal the mapping change; those
+        #: nested changes fold into the outer transaction instead.
+        self._in_commit = False
+        self._absorbed_blocks: List[int] = []
+        self._init_delalloc(delayed_allocation)
+
+    def _make_allocator(self) -> MultiBlockAllocator:
+        return MultiBlockAllocator(
+            total_blocks=self.total_blocks,
+            blocks_per_group=self._blocks_per_group,
+        )
+
+    # ---------------------------------------------------------- journaling
+    def _journal_transaction(self, metadata_blocks: List[int]) -> OperationCost:
+        """Commit a transaction, resolving outstanding delalloc first.
+
+        This is the delalloc-into-journal code path described in the module
+        docstring: in ordered (and data-journal) mode the commit record must
+        not be written while data of the same transaction is still only a
+        reservation, so reservations are materialised here and the affected
+        inodes' metadata joins the transaction being committed.
+        """
+        if self._in_commit:
+            # Nested request from resolving delalloc (the allocation wants to
+            # journal the inode's mapping change): fold the blocks into the
+            # transaction being committed instead of committing twice.
+            self._absorbed_blocks.extend(metadata_blocks)
+            return OperationCost()
+
+        blocks = list(metadata_blocks)
+        cost = OperationCost()
+        if (
+            self.journal_mode is not JournalMode.WRITEBACK
+            and self.delayed_allocation
+            and self._delalloc_reservations
+        ):
+            # Inodes are resolved in number order so the allocation sequence
+            # (and therefore the resulting layout) is independent of
+            # reservation insertion order -- snapshot-restored stacks replay
+            # it identically.
+            for number in sorted(self._delalloc_reservations):
+                inode = self._inodes.get(number)
+                if inode is None:
+                    # Normal during unlink: the base class commits the
+                    # unlink's transaction after deleting the inode but
+                    # before DelayedAllocationMixin.unlink cancels the dead
+                    # inode's reservation.  Nothing to allocate; drop it.
+                    self._delalloc_reservations.pop(number, None)
+                    continue
+                cost = cost.merge(self._flush_absorbing(inode, inode.mtime_ns, blocks))
+                table_block = self._inode_table_block(number)
+                if table_block not in blocks:
+                    blocks.append(table_block)
+
+        return cost.merge(
+            commit_journal_transaction(self, blocks, self.journal_mode, self._JOURNAL_CPU_NS)
+        )
+
+    def _flush_absorbing(self, inode: Inode, now_ns: float, blocks: List[int]) -> OperationCost:
+        """Flush one inode's reservation, folding nested commits into ``blocks``.
+
+        The allocation performed by :meth:`flush_delalloc` wants to journal
+        the inode's mapping change; with the reentrancy guard set, that
+        nested request lands in ``_absorbed_blocks`` and is folded into the
+        caller's transaction block list instead of committing separately.
+        """
+        self._in_commit = True
+        self._absorbed_blocks = []
+        try:
+            cost = self.flush_delalloc(inode, now_ns)
+            for block in self._absorbed_blocks:
+                if block not in blocks:
+                    blocks.append(block)
+            return cost
+        finally:
+            self._in_commit = False
+            self._absorbed_blocks = []
+
+    # -------------------------------------------------------------- fsync
+    def fsync_cost(self, inode: Inode, dirty_data_pages: int, now_ns: float) -> OperationCost:
+        cost = OperationCost(cpu_ns=self._cpu(self._FSYNC_BASE_NS))
+        blocks = [self._inode_table_block(inode.number)]
+        if self.delayed_allocation and self._delalloc_reservations.get(inode.number):
+            # Flush this inode's reservation into the fsync's own commit (in
+            # data=writeback mode the commit would not resolve it itself).
+            cost = cost.merge(self._flush_absorbing(inode, now_ns, blocks))
+        # fsync forces a journal commit covering the inode's metadata.
+        cost = cost.merge(self._journal_transaction(blocks))
+        if self.journal_mode is JournalMode.ORDERED and dirty_data_pages:
+            # Ordered mode: data must reach the device before the commit
+            # record; the VFS writes the data pages, we account the ordering
+            # flush.
+            cost.flushes += 1
+        self.stats.metadata_writes += 1
+        return cost

@@ -1,4 +1,9 @@
-"""Write-ahead journal shared by the Ext3 and XFS models.
+"""Write-ahead journal shared by the Ext3, Ext4 and XFS models.
+
+Ext3 and Ext4 mount it as their metadata (and optionally data) journal; XFS
+mounts a smaller instance as its metadata log.  Ext4 additionally resolves
+outstanding delayed allocations before each commit (see
+:mod:`repro.fs.ext4`) -- the journal itself only prices the commit.
 
 The journal occupies a fixed, contiguous region of the device.  Committing a
 transaction appends the logged blocks plus a commit record sequentially to the

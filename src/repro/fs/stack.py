@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 from repro.fs.base import FileSystem
 from repro.fs.ext2 import Ext2FileSystem
 from repro.fs.ext3 import Ext3FileSystem
+from repro.fs.ext4 import Ext4FileSystem
 from repro.fs.vfs import VFS
 from repro.fs.xfs import XfsFileSystem
 from repro.storage.cache import PageCache
@@ -28,8 +29,13 @@ from repro.storage.readahead import DEFAULT_READAHEAD, ReadaheadPolicy
 FS_REGISTRY: Dict[str, Callable[[int, int], FileSystem]] = {
     "ext2": lambda capacity, block: Ext2FileSystem(capacity, block),
     "ext3": lambda capacity, block: Ext3FileSystem(capacity, block),
+    "ext4": lambda capacity, block: Ext4FileSystem(capacity, block),
     "xfs": lambda capacity, block: XfsFileSystem(capacity, block),
 }
+
+#: Every registered file system, in registry order -- the single source of
+#: truth for CLI choices and default survey/suite grids.
+DEFAULT_FS_TYPES = tuple(FS_REGISTRY)
 
 
 @dataclass
@@ -56,7 +62,7 @@ class StorageStack:
 
     @property
     def fs_name(self) -> str:
-        """Name of the mounted file system ("ext2", "ext3", "xfs")."""
+        """Name of the mounted file system ("ext2", "ext3", "ext4", "xfs")."""
         return self.fs.name
 
     def reset_statistics(self) -> None:
@@ -89,8 +95,8 @@ def build_stack(
     Parameters
     ----------
     fs_type:
-        One of ``"ext2"``, ``"ext3"``, ``"xfs"`` (ignored when ``fs_factory``
-        is given).
+        Any name in :data:`FS_REGISTRY` -- ``"ext2"``, ``"ext3"``, ``"ext4"``
+        or ``"xfs"`` (ignored when ``fs_factory`` is given).
     testbed:
         Machine description; defaults to the paper's 512 MB testbed.
     seed:

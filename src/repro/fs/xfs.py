@@ -11,7 +11,8 @@ and in the wider nano-benchmark suite:
   the page cache, so XFS warms up fastest in Figure 2;
 * a metadata log (smaller transactions than ext3's journal, no data logging);
 * delayed allocation -- writes reserve space but real allocation happens at
-  writeback/fsync time, batched into fewer, larger extents.
+  writeback/fsync time, batched into fewer, larger extents (shared with the
+  Ext4 model via :class:`~repro.fs.common.DelayedAllocationMixin`).
 """
 
 from __future__ import annotations
@@ -20,11 +21,11 @@ from typing import List
 
 from repro.fs.allocation import ExtentAllocator
 from repro.fs.base import Inode, OperationCost
-from repro.fs.common import UnixFileSystemBase
+from repro.fs.common import DelayedAllocationMixin, UnixFileSystemBase
 from repro.fs.journal import Journal, Transaction
 
 
-class XfsFileSystem(UnixFileSystemBase):
+class XfsFileSystem(DelayedAllocationMixin, UnixFileSystemBase):
     """A behavioural model of XFS."""
 
     name = "xfs"
@@ -53,9 +54,7 @@ class XfsFileSystem(UnixFileSystemBase):
             block_size=block_size,
             use_barriers=use_barriers,
         )
-        self.delayed_allocation = delayed_allocation
-        #: Bytes reserved (delalloc) but not yet allocated, per inode number.
-        self._delalloc_reservations: dict = {}
+        self._init_delalloc(delayed_allocation)
 
     def _make_allocator(self) -> ExtentAllocator:
         return ExtentAllocator(
@@ -76,42 +75,7 @@ class XfsFileSystem(UnixFileSystemBase):
         self.stats.journal_commits += 1
         return cost
 
-    # ------------------------------------------------------ delayed alloc
-    def allocate_range(
-        self, inode: Inode, offset_bytes: int, nbytes: int, now_ns: float
-    ) -> OperationCost:
-        if not self.delayed_allocation:
-            return super().allocate_range(inode, offset_bytes, nbytes, now_ns)
-
-        # Reserve now, allocate at flush time: extend the logical size and
-        # remember the reservation; the actual extents are created lazily.
-        if nbytes <= 0:
-            raise ValueError("nbytes must be positive")
-        end = offset_bytes + nbytes
-        reserved = self._delalloc_reservations.get(inode.number, 0)
-        already_mapped_bytes = inode.blocks_allocated() * self.block_size
-        new_reservation = max(reserved, end - already_mapped_bytes)
-        self._delalloc_reservations[inode.number] = max(0, new_reservation)
-        if end > inode.size_bytes:
-            inode.size_bytes = end
-        inode.mtime_ns = now_ns
-        # Reservation is cheap: in-memory bookkeeping only.
-        return OperationCost(cpu_ns=self._cpu(900.0))
-
-    def flush_delalloc(self, inode: Inode, now_ns: float) -> OperationCost:
-        """Convert outstanding reservations into real, contiguous extents."""
-        reserved = self._delalloc_reservations.pop(inode.number, 0)
-        if reserved <= 0:
-            return OperationCost()
-        start_byte = inode.blocks_allocated() * self.block_size
-        return super().allocate_range(inode, start_byte, reserved, now_ns)
-
-    def map_read(self, inode: Inode, first_page: int, page_count: int):
-        # Reads force delayed allocations to materialise first (like a flush).
-        if self.delayed_allocation and self._delalloc_reservations.get(inode.number):
-            self.flush_delalloc(inode, inode.mtime_ns)
-        return super().map_read(inode, first_page, page_count)
-
+    # -------------------------------------------------------------- fsync
     def fsync_cost(self, inode: Inode, dirty_data_pages: int, now_ns: float) -> OperationCost:
         cost = OperationCost(cpu_ns=self._cpu(self._FSYNC_BASE_NS))
         if self.delayed_allocation:

@@ -67,16 +67,20 @@ class IOScheduler(ABC):
     def merge_adjacent(requests: Sequence[IORequest]) -> List[IORequest]:
         """Merge physically adjacent same-direction requests into larger ones.
 
-        Merging only applies to requests that are exactly contiguous; it keeps
-        the scheduler honest about what a real block layer could coalesce.
+        Merging only applies to *consecutive* requests that are exactly
+        contiguous: coalescing must not reorder the batch, because ordering is
+        the scheduler's job (and the NOOP scheduler's whole contract is that
+        dispatch happens in arrival order).  Unmerged requests therefore come
+        back in arrival order, with runs of adjacent requests collapsed.
         """
-        if not requests:
-            return []
-        ordered = sorted(requests, key=lambda r: (r.is_write, r.offset_bytes))
-        merged: List[IORequest] = [ordered[0]]
-        for req in ordered[1:]:
-            last = merged[-1]
-            if req.is_write == last.is_write and req.offset_bytes == last.end_bytes:
+        merged: List[IORequest] = []
+        for req in requests:
+            last = merged[-1] if merged else None
+            if (
+                last is not None
+                and req.is_write == last.is_write
+                and req.offset_bytes == last.end_bytes
+            ):
                 merged[-1] = IORequest(
                     offset_bytes=last.offset_bytes,
                     nbytes=last.nbytes + req.nbytes,
@@ -216,13 +220,17 @@ class BlockDevice:
         """
         if not requests:
             return 0.0
-        batch: Sequence[IORequest] = requests
-        if self.merge:
-            before = len(batch)
-            batch = IOScheduler.merge_adjacent(batch)
-            self.stats.merged_requests += before - len(batch)
         head = getattr(self.model, "_head_offset", 0)
-        ordered = self.scheduler.order(batch, head)
+        # Order first, merge second: coalescing only collapses *consecutive*
+        # contiguous requests, so the scheduler decides adjacency.  Under
+        # NOOP the dispatch order stays the arrival order; under elevator/
+        # deadline, sorting brings contiguous requests together and they
+        # merge exactly as a real block layer's sorted queue would.
+        ordered = self.scheduler.order(list(requests), head)
+        if self.merge:
+            before = len(ordered)
+            ordered = IOScheduler.merge_adjacent(ordered)
+            self.stats.merged_requests += before - len(ordered)
 
         total = 0.0
         for req in ordered:

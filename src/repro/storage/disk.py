@@ -256,6 +256,25 @@ class MechanicalDisk(DeviceModel):
             self.capacity_bytes, offset_bytes + max(nbytes, self.geometry.track_cache_bytes)
         )
 
+    def _invalidate_track_cache(self, offset_bytes: int, nbytes: int) -> None:
+        """Drop the cached segment from a written range onward.
+
+        The segment cache holds stale media contents once any part of it is
+        overwritten; a read served from it after a write would return old data
+        at near-zero cost.  The cache is a single contiguous range, so the
+        conservative invalidation keeps only the prefix before the write.
+        """
+        if self._cache_start < 0:
+            return
+        write_end = offset_bytes + nbytes
+        if write_end <= self._cache_start or offset_bytes >= self._cache_end:
+            return  # no overlap
+        if offset_bytes <= self._cache_start:
+            self._cache_start = -1
+            self._cache_end = -1
+        else:
+            self._cache_end = offset_bytes
+
     # --------------------------------------------------------------- service
     def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
         if self._in_track_cache(offset_bytes, nbytes):
@@ -275,12 +294,16 @@ class MechanicalDisk(DeviceModel):
         return self._OVERHEAD_NS + seek + rotation + transfer
 
     def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        self._invalidate_track_cache(offset_bytes, nbytes)
         if self.write_cache_enabled:
             # Acknowledge from the drive cache; charge interface transfer plus
             # a small probability of having to destage synchronously.
             latency = self._OVERHEAD_NS + self._transfer_time_ns(offset_bytes, nbytes) / 2.0
             if rng.random() < 0.02:
-                latency += self._seek_time_ns(self._head_offset, offset_bytes)
+                seek = self._seek_time_ns(self._head_offset, offset_bytes)
+                if seek > 0:
+                    self.stats.seeks += 1
+                latency += seek
                 latency += rng.uniform(0.0, self.geometry.rotation_time_ns())
                 self._head_offset = offset_bytes + nbytes
             return latency

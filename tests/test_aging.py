@@ -239,7 +239,7 @@ class TestSnapshot:
         assert again.extent_histogram == original.extent_histogram
         assert again.free_space == original.free_space
 
-    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "xfs"])
+    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "ext4", "xfs"])
     def test_restore_preserves_cache_journal_and_clock(self, fs_type, tmp_path):
         stack = build_stack(fs_type, testbed=TESTBED, seed=13)
         vfs = stack.vfs
@@ -355,6 +355,7 @@ class TestTraceRoundTrip:
 
 
 # --------------------------------------------------------------------------
+@pytest.mark.slow
 class TestAgedVsFresh:
     @pytest.fixture(scope="class")
     def result(self, tmp_path_factory):

@@ -50,6 +50,27 @@ class TestMerging:
     def test_empty_batch(self):
         assert IOScheduler.merge_adjacent([]) == []
 
+    def test_merging_preserves_arrival_order(self):
+        """Coalescing must not sort the batch: ordering is the scheduler's job."""
+        requests = [IORequest(0, 4096), IORequest(16384, 4096), IORequest(4096, 4096)]
+        merged = IOScheduler.merge_adjacent(requests)
+        # The third request is adjacent to the first but not *consecutive*
+        # with it, so nothing merges and arrival order is untouched.
+        assert [r.offset_bytes for r in merged] == [0, 16384, 4096]
+
+    def test_only_consecutive_runs_merge(self):
+        requests = [
+            IORequest(8192, 4096),
+            IORequest(12288, 4096),  # consecutive + adjacent: merges
+            IORequest(0, 4096),  # out of order: breaks the run
+            IORequest(4096, 4096),  # consecutive + adjacent: merges
+        ]
+        merged = IOScheduler.merge_adjacent(requests)
+        assert [(r.offset_bytes, r.nbytes) for r in merged] == [
+            (8192, 8192),
+            (0, 8192),
+        ]
+
 
 class TestSchedulers:
     def test_noop_preserves_order(self):
@@ -107,6 +128,26 @@ class TestBlockDevice:
         batch = [IORequest(i * 4096, 4096) for i in range(8)]
         device.submit(batch, rng)
         assert device.stats.requests == 8
+
+    def test_noop_dispatches_in_arrival_order_even_with_merging(self, rng):
+        """The NOOP contract: merge=True must not reorder the dispatch."""
+
+        class SpyModel(RamDisk):
+            def __init__(self):
+                super().__init__()
+                self.offsets = []
+
+            def read_latency_ns(self, offset_bytes, nbytes, rng):
+                self.offsets.append(offset_bytes)
+                return super().read_latency_ns(offset_bytes, nbytes, rng)
+
+        model = SpyModel()
+        device = BlockDevice(model, scheduler=NoopScheduler(), merge=True)
+        # Descending, non-adjacent offsets: the old sort-based merge would
+        # dispatch these ascending.
+        batch = [IORequest(32 * 4096, 4096), IORequest(16 * 4096, 4096), IORequest(0, 4096)]
+        device.submit(batch, rng)
+        assert model.offsets == [32 * 4096, 16 * 4096, 0]
 
     def test_elevator_scheduling_reduces_seek_time(self, rng):
         offsets = [rng.randrange(0, 200 * 10**9, 4096) for _ in range(64)]

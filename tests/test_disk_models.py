@@ -56,6 +56,55 @@ class TestMechanicalDisk:
         assert second < first
         assert disk.stats.track_cache_hits >= 1
 
+    def test_overwrite_invalidates_track_cache(self, rng):
+        """A read after an overlapping write must hit the media, not the cache."""
+        disk = MechanicalDisk()
+        disk.read(0, 64 * 1024, rng)  # fills the segment cache from offset 0
+        hits_before = disk.stats.track_cache_hits
+        disk.write(0, 4096, rng)  # overwrites the cached range
+        stale_read = disk.read(0, 64 * 1024, rng)
+        assert disk.stats.track_cache_hits == hits_before
+        # Re-read now hits the freshly refilled cache and is much cheaper.
+        fresh_read = disk.read(0, 64 * 1024, rng)
+        assert disk.stats.track_cache_hits == hits_before + 1
+        assert fresh_read < stale_read
+
+    def test_overwrite_keeps_cached_prefix(self, rng):
+        """Only the range from the write onward is invalidated."""
+        disk = MechanicalDisk()
+        disk.read(0, 1024 * 1024, rng)  # cache spans [0, >=1 MiB)
+        disk.write(512 * 1024, 4096, rng)
+        hits_before = disk.stats.track_cache_hits
+        disk.read(0, 256 * 1024, rng)  # before the write: still cached
+        assert disk.stats.track_cache_hits == hits_before + 1
+        disk.read(512 * 1024, 4096, rng)  # the overwritten range: not cached
+        assert disk.stats.track_cache_hits == hits_before + 1
+
+    def test_write_before_cache_start_invalidates_from_start(self, rng):
+        disk = MechanicalDisk()
+        disk.read(1024 * 1024, 64 * 1024, rng)
+        hits_before = disk.stats.track_cache_hits
+        # A write straddling the cache start poisons the whole segment.
+        disk.write(1024 * 1024 - 4096, 8192, rng)
+        disk.read(1024 * 1024 + 32 * 1024, 4096, rng)
+        assert disk.stats.track_cache_hits == hits_before
+
+    def test_write_cache_destage_counts_its_seek(self):
+        class DestageRng:
+            """random() -> 0.0 forces the 2% destage branch; uniform -> 0."""
+
+            def random(self):
+                return 0.0
+
+            def uniform(self, low, high):
+                return 0.0
+
+        disk = MechanicalDisk(write_cache_enabled=True)
+        disk._head_offset = disk.capacity_bytes // 2  # far from the write
+        seeks_before = disk.stats.seeks
+        disk.write(0, 4096, DestageRng())
+        assert disk.stats.seeks == seeks_before + 1
+
     def test_short_seeks_cheaper_than_full_stroke(self, rng):
         disk = MechanicalDisk()
         near = disk._seek_time_ns(0, 1024 * 1024)

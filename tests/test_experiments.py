@@ -86,6 +86,7 @@ class TestFigure1Harness:
 
 
 class TestFigure2Harness:
+    @pytest.mark.slow
     def test_warmup_curves_diverge_then_converge(self):
         result = run_figure2(fs_types=("ext2", "xfs"), scale=tiny_scale(), seed=3)
         assert set(result.filesystems()) == {"ext2", "xfs"}
@@ -102,6 +103,7 @@ class TestFigure2Harness:
             assert xfs_warm <= ext2_warm
         assert "Figure 2" in result.render()
 
+    @pytest.mark.slow
     def test_explicit_testbed_is_respected(self):
         testbed = scaled_testbed(1.0 / 16.0)
         result = run_figure2(fs_types=("ext2",), testbed=testbed, scale=tiny_scale(), seed=3)
@@ -133,6 +135,7 @@ class TestFigure3Harness:
 
 
 class TestFigure4Harness:
+    @pytest.mark.slow
     def test_disk_peak_fades_as_cache_warms(self):
         testbed = scaled_testbed(1.0 / 16.0)
         result = run_figure4(fs_type="ext2", testbed=testbed, scale=tiny_scale(), seed=3)

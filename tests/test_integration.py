@@ -90,10 +90,11 @@ class TestFigure2Phenomenon:
 
         assert hit_ratio_after("xfs", 10.0) > hit_ratio_after("ext2", 10.0)
 
+    @pytest.mark.slow
     def test_all_filesystems_converge_to_memory_speed(self, testbed):
         file_size = int(testbed.page_cache_bytes * 0.9)
         finals = {}
-        for fs_type in ("ext2", "ext3", "xfs"):
+        for fs_type in ("ext2", "ext3", "ext4", "xfs"):
             config = protocol(duration_s=45.0, repetitions=1, warmup_mode=WarmupMode.NONE,
                               interval_s=5.0, noise=EnvironmentNoise(enabled=False))
             runner = BenchmarkRunner(fs_type, testbed=testbed, config=config)

@@ -210,6 +210,22 @@ class TestCacheKey:
         assert units_42[1].key() == units_43[0].key()
         assert units_42[0].key() != units_43[0].key()
 
+    def test_canonical_handles_mixed_type_dict_keys(self):
+        from repro.core.parallel import _canonical
+
+        # Mixed-type keys used to raise TypeError in sorted(value.items()).
+        mixed = _canonical({1: "a", "1": "b", (2, 3): "c"})
+        assert len(mixed) == 3
+        # ...and {1: x} must not collide with {"1": x}.
+        assert _canonical({1: "x"}) != _canonical({"1": "x"})
+        # Same content, different insertion order: identical canonical form.
+        assert _canonical({"b": 1, "a": 2}) == _canonical({"a": 2, "b": 1})
+
+    def test_cache_format_version_bumped_for_canonical_change(self):
+        from repro.core.parallel import CACHE_FORMAT_VERSION
+
+        assert CACHE_FORMAT_VERSION >= 2
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path, testbed, nano):

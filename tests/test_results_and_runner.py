@@ -220,7 +220,7 @@ class TestBenchmarkRunner:
         repetitions = runner.run(create_delete_workload(file_count=50, directories=5))
         assert repetitions.throughput_summary().mean > 0
 
-    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "xfs"])
+    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "ext4", "xfs"])
     def test_all_filesystems_run(self, fs_type, testbed, no_noise_config):
         runner = BenchmarkRunner(fs_type, testbed=testbed, config=no_noise_config)
         run = runner.run_once(random_read_workload(2 * MiB))

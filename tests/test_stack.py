@@ -11,10 +11,10 @@ MiB = 1024 * 1024
 
 
 class TestBuildStack:
-    def test_registry_contains_the_three_case_study_filesystems(self):
-        assert set(FS_REGISTRY) == {"ext2", "ext3", "xfs"}
+    def test_registry_contains_the_case_study_filesystems_plus_ext4(self):
+        assert set(FS_REGISTRY) == {"ext2", "ext3", "ext4", "xfs"}
 
-    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "xfs"])
+    @pytest.mark.parametrize("fs_type", ["ext2", "ext3", "ext4", "xfs"])
     def test_builds_each_filesystem(self, fs_type):
         stack = build_stack(fs_type, testbed=scaled_testbed(1.0 / 16.0))
         assert stack.fs_name == fs_type
