@@ -8,8 +8,11 @@ Python library:
   dimension taxonomy, nano-benchmark suite, statistically honest runners,
   latency histograms, timelines, steady-state detection, self-scaling sweeps,
   range-based reporting, the Table-1 survey database and its measured
-  counterpart, and the parallel executor + persistent result cache that
-  fan surveys out over processes with bit-identical results.
+  counterpart, the parallel executor + persistent result cache that fan
+  surveys out over processes with bit-identical results, and the declarative
+  :class:`~repro.core.experiment.Experiment` API (parameter grids over named
+  axes, tidy :class:`~repro.core.frame.ResultFrame` results) that every
+  legacy harness now shims onto.
 * :mod:`repro.storage` -- the simulated storage substrate (virtual clock,
   disk/SSD models, page cache, readahead, block layer).
 * :mod:`repro.fs` -- behavioural Ext2/Ext3/XFS models and the VFS gluing the
@@ -25,11 +28,13 @@ Python library:
 
 Quick start::
 
-    from repro import build_stack, random_read_workload, BenchmarkRunner
+    from repro import Experiment, ParameterGrid
 
-    runner = BenchmarkRunner(fs_type="ext2")
-    result = runner.run(random_read_workload(256 * 1024 * 1024))
-    print(result.throughput_summary().format("ops/s"))
+    outcome = Experiment(
+        ParameterGrid.of(fs=("ext2", "ext4"), workload=("postmark",), seed=range(5))
+    ).run()
+    print(outcome.render())
+    outcome.frame.filter(metric="throughput_ops_s").to_csv("results.csv")
 """
 
 from repro.core import (
@@ -38,13 +43,18 @@ from repro.core import (
     Coverage,
     Dimension,
     DimensionVector,
+    Experiment,
+    ExperimentResult,
     LatencyHistogram,
     MeasuredSurvey,
     NanoBenchmark,
     NanoBenchmarkSuite,
     ParallelExecutor,
+    ParameterGrid,
+    PivotTable,
     RepetitionSet,
     ResultCache,
+    ResultFrame,
     RunResult,
     SelfScalingBenchmark,
     SummaryStatistics,
@@ -78,9 +88,14 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ParameterGrid",
+    "PivotTable",
+    "ResultFrame",
     "AgingConfig",
     "ChurnAger",
     "StateSnapshot",

@@ -19,15 +19,17 @@ from __future__ import annotations
 
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.aging.engines import AgingConfig, AgingResult, ChurnAger
-from repro.aging.snapshot import save_snapshot, snapshot_stack, snapshot_stack_factory
+from repro.aging.snapshot import save_snapshot, snapshot_stack
 from repro.analysis.fragility import FragilityWarning, assess_aging
+from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.report import format_table
 from repro.core.results import RepetitionSet
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, WarmupMode
+from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.fs.stack import build_stack
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import sequential_read_workload
@@ -143,7 +145,20 @@ def run_aged_vs_fresh(
         snapshots are part of the result (``cell.snapshot_path``) and the
         caller owns them -- pass an explicit ``snapshot_dir`` (or delete the
         reported paths) to manage their lifetime.
+
+    .. deprecated:: 1.3
+        Thin shim: each file system's fresh/aged pair is one
+        :class:`~repro.core.experiment.Experiment` with a two-valued
+        ``snapshot`` axis; declare that grid directly for custom aged
+        comparisons (more file systems, more workloads, more snapshots --
+        all just axes).
     """
+    warnings.warn(
+        "run_aged_vs_fresh is a deprecation shim; declare an Experiment with "
+        "a snapshot axis instead (repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     testbed = testbed if testbed is not None else paper_testbed()
     if aging is None:
         from repro.aging.engines import quick_aging_config
@@ -174,15 +189,22 @@ def run_aged_vs_fresh(
         path = os.path.join(snapshot_dir, f"aged-{fs_type}.snapshot.json")
         save_snapshot(snapshot, path)
 
-        fresh = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config).run(
-            spec, label=f"fresh:{spec.name}@{fs_type}"
-        )
-        aged = BenchmarkRunner(
-            fs_type=fs_type,
-            testbed=testbed,
+        # Fresh vs aged is one experiment with a two-valued snapshot axis:
+        # None means a freshly-formatted stack, the path the aged state.
+        outcome = Experiment(
+            grid=ParameterGrid.of(fs=[fs_type], workload=[spec], snapshot=[None, path]),
+            name=f"aged-vs-fresh-{fs_type}",
             config=config,
-            stack_factory=snapshot_stack_factory(path),
-        ).run(spec, label=f"aged:{spec.name}@{fs_type}")
+            testbed=testbed,
+        ).run()
+        fresh = RepetitionSet(
+            label=f"fresh:{spec.name}@{fs_type}",
+            runs=list(outcome.result_for(snapshot=None).runs),
+        )
+        aged = RepetitionSet(
+            label=f"aged:{spec.name}@{fs_type}",
+            runs=list(outcome.result_for(snapshot=path).runs),
+        )
 
         result.cells[fs_type] = AgedVsFreshCell(
             fs_type=fs_type,

@@ -1,31 +1,39 @@
-"""Command-line interface: regenerate any of the paper's figures or tables.
+"""Command-line interface: declarative experiment runs plus the paper's
+figures and tables.
 
-Examples::
+The primary entry point is ``run``, the CLI face of the declarative
+experiment API (:mod:`repro.core.experiment`): every ``--axis`` adds one grid
+dimension, and the cartesian product executes through the parallel engine
+with streaming progress and a tidy JSONL/CSV result frame::
 
-    fsbench-rocket table1
-    fsbench-rocket table1 --measured --quick
+    fsbench-rocket run --axis fs=ext2,ext4 --axis workload=postmark \\
+        --axis seed=0..4 --out results.jsonl
+    fsbench-rocket run --axis fs=ext4 --axis workload=random-read-cached \\
+        --axis cache_mb=64,128,256 --workers 0 --cache-dir .fsbench-cache
+    fsbench-rocket list        # registered filesystems/workloads/devices/...
+
+Axis values resolve by name through the registries ``list`` prints
+(``FS_REGISTRY``, ``WORKLOAD_REGISTRY``, ``DEVICE_REGISTRY``,
+``SCHEDULER_REGISTRY``); ``a..b`` is an inclusive integer range and any other
+axis name is a :class:`~repro.core.runner.BenchmarkConfig` field override
+(``--axis duration_s=5``).
+
+The legacy harness commands remain as shims over the same engine::
+
+    fsbench-rocket table1 [--measured --quick]
     fsbench-rocket figure1 --fs ext2
-    fsbench-rocket figure2 --paper-scale
-    fsbench-rocket suite --quick --fs ext4 --fs xfs
-    fsbench-rocket suite --workers 4 --cache-dir ~/.cache/fsbench-rocket
+    fsbench-rocket suite --quick --fs ext4 --fs xfs --workers 4
     fsbench-rocket survey --quick --workers 0
     fsbench-rocket age --quick --fs ext4 --out aged-ext4.snapshot.json
-    fsbench-rocket age --quick --fs ext4 --compare
     fsbench-rocket suite --quick --fs ext4 --snapshot aged-ext4.snapshot.json
 
-Suite, survey and age default to the full filesystem grid (ext2, ext3,
-ext4, xfs where applicable); ``table1 --measured`` appends the measured
-survey counterpart to the literature table.
-
-``--workers`` fans the (benchmark x file system x repetition) grid out over
-worker processes (``0`` = one per CPU) with bit-identical results;
-``--cache-dir`` persists every measured cell so repeated runs only simulate
-what has never been measured before (``--no-cache`` overrides it).
-
-``age`` churns a file system into a realistic aged state and saves it as a
-deterministic state snapshot; passing that snapshot to ``suite``/``survey``
-via ``--snapshot`` measures every dimension from the aged state (the
-snapshot fingerprint joins the result-cache key).
+``--workers`` fans the grid out over worker processes (``0`` = one per CPU)
+with bit-identical results; ``--cache-dir`` persists every measured cell so
+repeated runs only simulate what has never been measured before
+(``--no-cache`` overrides it).  ``age`` churns a file system into a realistic
+aged state and saves it as a deterministic snapshot; pass it to ``run`` via
+``--axis snapshot=PATH`` (or to suite/survey via ``--snapshot``) to measure
+from the aged state.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.report import suite_report
 from repro.core.suite import NanoBenchmarkSuite
 from repro.core.survey import MeasuredSurvey
@@ -67,6 +76,60 @@ def _testbed_fraction(value: str) -> float:
     return number
 
 
+def _parse_axis_value(axis: str, token: str):
+    """One axis value: int/float/bool coerced, anything else a string.
+
+    Only the snapshot axis maps ``none``/``fresh`` to Python ``None`` (a
+    fresh file system); everywhere else those tokens stay strings so enum
+    fields like ``warmup_mode=none`` resolve to their enum values.
+    """
+    token = token.strip()
+    lowered = token.lower()
+    if axis == "snapshot" and lowered in ("none", "fresh"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_axis(text: str):
+    """argparse type for --axis: ``NAME=V1[,V2...]`` with ``a..b`` int ranges."""
+    name, sep, raw = text.partition("=")
+    name = name.strip()
+    if not sep or not name or not raw.strip():
+        raise argparse.ArgumentTypeError(
+            "expected NAME=VALUE[,VALUE...] (e.g. fs=ext2,ext4 or seed=0..4)"
+        )
+    values = []
+    for token in raw.split(","):
+        token = token.strip()
+        low, range_sep, high = token.partition("..")
+        if range_sep:
+            # 'a..b' is an inclusive integer range only when both bounds are
+            # integers; anything else (e.g. a snapshot path like ../aged.json)
+            # falls through to a plain value.
+            try:
+                start, stop = int(low), int(high)
+            except ValueError:
+                values.append(_parse_axis_value(name, token))
+                continue
+            if stop < start:
+                raise argparse.ArgumentTypeError(f"empty range: {token!r}")
+            values.extend(range(start, stop + 1))
+        else:
+            values.append(_parse_axis_value(name, token))
+    return name, values
+
+
 def _build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -83,6 +146,63 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the paper's full durations and repetition counts (slower)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = subparsers.add_parser(
+        "run",
+        help="run a declarative experiment grid (--axis NAME=V1,V2 per dimension)",
+    )
+    run_cmd.add_argument(
+        "--axis",
+        action="append",
+        type=_parse_axis,
+        default=[],
+        metavar="NAME=V1[,V2...]",
+        help=(
+            "add one grid axis (repeatable): fs/workload/device/scheduler by "
+            "registry name, cache_mb in MiB, snapshot paths ('fresh' = no "
+            "snapshot), seed with a..b ranges, or any BenchmarkConfig field"
+        ),
+    )
+    run_cmd.add_argument(
+        "--name", default="cli-run", help="experiment name recorded in the result frame"
+    )
+    run_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the tidy result frame here (.csv writes CSV, anything else JSONL)",
+    )
+    run_cmd.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125)",
+    )
+    run_cmd.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the grid fan-out (0 = one per CPU; default 1, serial)",
+    )
+    run_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist measured cells here and skip them on re-runs (default: no cache)",
+    )
+    run_cmd.add_argument(
+        "--no-cache", action="store_true", help="ignore --cache-dir and measure everything fresh"
+    )
+    run_cmd.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress lines on stderr"
+    )
+
+    subparsers.add_parser(
+        "list",
+        help="list registered filesystems, workloads, devices, schedulers and experiments",
+    )
 
     for name, needs_fs in (
         ("figure1", True),
@@ -214,6 +334,100 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_list(args) -> int:
+    """The ``list`` subcommand: every name the experiment grid resolves."""
+    from repro.experiments import EXPERIMENT_REGISTRY
+    from repro.fs.stack import FS_REGISTRY
+    from repro.storage.config import DEVICE_REGISTRY
+    from repro.storage.device import SCHEDULER_REGISTRY
+    from repro.workloads import WORKLOAD_REGISTRY
+
+    testbed = paper_testbed()
+    print("File systems (axis 'fs'):")
+    for name in FS_REGISTRY:
+        print(f"  {name}")
+    print()
+    print("Workloads (axis 'workload'):")
+    for name, factory in WORKLOAD_REGISTRY.items():
+        try:
+            description = factory(testbed).description
+        except Exception as error:  # registry entries are user-extensible
+            description = f"(factory failed: {error})"
+        print(f"  {name:<20} {description}")
+    print()
+    print("Devices (axis 'device'):")
+    for name in DEVICE_REGISTRY:
+        print(f"  {name}")
+    print()
+    print("I/O schedulers (axis 'scheduler'):")
+    for name in SCHEDULER_REGISTRY:
+        print(f"  {name}")
+    print()
+    print("Experiments (subcommands; shims over the Experiment API):")
+    for name, (_, description) in EXPERIMENT_REGISTRY.items():
+        print(f"  {name:<15} {description}")
+    print()
+    print(
+        "Compose axes freely: fsbench-rocket run --axis fs=ext2,ext4 "
+        "--axis workload=postmark --axis seed=0..4 --out results.jsonl"
+    )
+    return 0
+
+
+def _run_experiment(args) -> int:
+    """The ``run`` subcommand: declare a grid, stream progress, emit a frame."""
+    axes = {}
+    for name, values in args.axis:
+        axes.setdefault(name, []).extend(values)
+    axes.setdefault("fs", ["ext2"])
+    axes.setdefault("workload", ["random-read-cached"])
+    testbed = (
+        scaled_testbed(args.scaled_testbed)
+        if args.scaled_testbed is not None
+        else paper_testbed()
+    )
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        experiment = Experiment(
+            grid=ParameterGrid(axes),
+            name=args.name,
+            testbed=testbed,
+            n_workers=args.workers,
+            cache_dir=cache_dir,
+        )
+        cells = experiment.cells()
+    except (ValueError, TypeError, AttributeError, OSError) as error:
+        # Bad axis names/values (including wrongly-typed config overrides,
+        # which surface as AttributeError from validate()) and unreadable
+        # snapshots are usage errors; fail before any measurement starts.
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    total = len(cells)
+    completed = {"cells": 0}
+
+    def on_cell(cell, repetitions) -> None:
+        completed["cells"] += 1
+        summary = repetitions.throughput_summary()
+        print(
+            f"[{completed['cells']}/{total}] {cell.label}: "
+            f"{summary.mean:.0f} ops/s +/-{summary.relative_stddev_percent:.0f}% "
+            f"({len(repetitions)} reps)",
+            file=sys.stderr,
+        )
+
+    if not args.quiet:
+        print(experiment.describe(), file=sys.stderr)
+    outcome = experiment.run(on_cell=None if args.quiet else on_cell)
+    print(outcome.render())
+    if args.out:
+        if args.out.endswith(".csv"):
+            outcome.frame.to_csv(args.out)
+        else:
+            outcome.frame.to_jsonl(args.out)
+        print(f"wrote {len(outcome.frame)} records -> {args.out}")
+    return 0
+
+
 def _run_age(args) -> int:
     """The ``age`` subcommand: age, snapshot, optionally compare."""
     from repro.aging import (
@@ -277,6 +491,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     scale = paper_scale() if args.paper_scale else default_scale()
 
+    if args.command == "list":
+        return _run_list(args)
+    if args.command == "run":
+        return _run_experiment(args)
     if args.command == "table1":
         measured_fs_types = None
         if not args.measured and (

@@ -19,6 +19,12 @@ subpackage is that methodology as a library:
   cache-state control, environment-noise injection, interval sampling.
 * :mod:`repro.core.parallel` -- process-pool fan-out over repetitions and the
   persistent result cache (bit-identical to serial execution).
+* :mod:`repro.core.experiment` -- the declarative Experiment API: parameter
+  grids over named axes (fs, workload, device, scheduler, cache size, aging
+  snapshot, seed, protocol overrides) expanded onto the executor.
+* :mod:`repro.core.frame` -- tidy result frames (one row per repetition x
+  metric) with filter/group_by/pivot/summary and JSONL/CSV round-trips: the
+  analysis layer's lingua franca.
 * :mod:`repro.core.benchmark`, :mod:`repro.core.suite` -- nano-benchmarks and
   the multi-dimensional suite the paper calls for.
 * :mod:`repro.core.selfscaling` -- self-scaling parameter sweeps that locate
@@ -65,6 +71,13 @@ from repro.core.stats import (
     summarize,
     welch_t_test,
 )
+from repro.core.experiment import (
+    Experiment,
+    ExperimentCell,
+    ExperimentResult,
+    ParameterGrid,
+)
+from repro.core.frame import PivotTable, ResultFrame, rows_for_run, run_metrics
 from repro.core.steady_state import SteadyStateDetector, detect_steady_state, trim_warmup
 from repro.core.timeline import HistogramTimeline, IntervalSeries
 from repro.core.benchmark import NanoBenchmark
@@ -80,6 +93,14 @@ from repro.core.survey import (
 )
 
 __all__ = [
+    "Experiment",
+    "ExperimentCell",
+    "ExperimentResult",
+    "ParameterGrid",
+    "PivotTable",
+    "ResultFrame",
+    "rows_for_run",
+    "run_metrics",
     "Coverage",
     "Dimension",
     "DimensionVector",

@@ -1,0 +1,390 @@
+"""Tidy result frames: the lingua franca of the analysis layer.
+
+The paper's complaint about single-number reporting has a structural twin in
+code: every harness that invents its own result container also invents its
+own filtering, grouping and rendering.  A :class:`ResultFrame` is the one
+container they all share -- a *tidy* table with **one row per repetition per
+metric**:
+
+    {"experiment": "survey", "fs": "ext4", "workload": "postmark",
+     "seed": 43, "repetition": 1, "metric": "throughput_ops_s",
+     "value": 8123.4}
+
+Axis columns (``fs``, ``workload``, ``seed``, ``cache_mb``, ...) identify the
+measurement; ``metric``/``value`` carry what was measured.  Because the shape
+is uniform, one small verb set covers every analysis the bespoke result
+classes used to hand-roll: :meth:`~ResultFrame.filter`,
+:meth:`~ResultFrame.group_by`, :meth:`~ResultFrame.pivot`,
+:meth:`~ResultFrame.summary`, plus JSONL/CSV round-trips for archiving
+results next to a paper.
+
+:meth:`ResultFrame.pivot` returns a :class:`PivotTable`, the single renderer
+behind the figure/table/ survey reports (see ``repro.experiments``): the old
+per-result-class table code is now "pivot the frame, render it".
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
+
+from repro.core.results import RunResult
+from repro.core.stats import SummaryStatistics, summarize
+
+#: Aggregations understood by :meth:`ResultFrame.pivot`.  ``first`` and
+#: ``count`` accept any cell type; the numeric ones require numbers.
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "mean": lambda values: sum(values) / len(values),
+    "sum": sum,
+    "min": min,
+    "max": max,
+    "count": len,
+    "first": lambda values: values[0],
+}
+
+
+def run_metrics(run: RunResult) -> Dict[str, float]:
+    """The scalar metrics of one repetition, in canonical order.
+
+    These are the per-repetition quantities every harness reports somewhere;
+    one tidy row is emitted per entry.  Timelines and histograms stay on the
+    :class:`~repro.core.results.RunResult` (the frame is for cross-cell
+    analysis, not for replacing the rich containers).
+    """
+    return {
+        "throughput_ops_s": run.throughput_ops_s,
+        "operations": run.operations,
+        "measured_duration_s": run.measured_duration_s,
+        "warmup_duration_s": run.warmup_duration_s,
+        "mean_latency_ns": run.mean_latency_ns,
+        "p95_latency_ns": run.p95_latency_ns,
+        "p99_latency_ns": run.p99_latency_ns,
+        "cache_hit_ratio": run.cache_hit_ratio,
+        "device_reads": run.device_reads,
+        "device_writes": run.device_writes,
+        "bytes_read": run.bytes_read,
+        "bytes_written": run.bytes_written,
+    }
+
+
+def rows_for_run(axes: Mapping[str, Any], run: RunResult) -> List[Dict[str, Any]]:
+    """Tidy rows (one per metric) for one repetition measured at ``axes``."""
+    identity = dict(axes)
+    identity.setdefault("seed", run.seed)
+    identity.setdefault("repetition", run.repetition)
+    return [
+        {**identity, "metric": metric, "value": value}
+        for metric, value in run_metrics(run).items()
+    ]
+
+
+@dataclass
+class PivotTable:
+    """A rectangular view of a frame: one axis down, one across.
+
+    Produced by :meth:`ResultFrame.pivot`; render with :meth:`render` (this is
+    the shared table renderer behind the figure/table reports) or read cells
+    programmatically with :meth:`value`.
+    """
+
+    index_columns: Tuple[str, ...]
+    column_name: str
+    row_keys: List[Tuple[Any, ...]]
+    col_keys: List[Any]
+    cells: Dict[Tuple[Tuple[Any, ...], Any], Any]
+
+    def value(self, row_key: Union[Any, Tuple[Any, ...]], col_key: Any) -> Any:
+        """The aggregated cell at ``(row_key, col_key)`` (``None`` if empty)."""
+        if not isinstance(row_key, tuple):
+            row_key = (row_key,)
+        return self.cells.get((row_key, col_key))
+
+    def render(
+        self,
+        index_headers: Optional[Sequence[str]] = None,
+        column_header: Optional[Callable[[Any], str]] = None,
+        value_format: Optional[Union[str, Callable[[Any], str]]] = None,
+        index_format: Optional[Union[str, Callable[[Any], str]]] = None,
+        missing: str = "",
+    ) -> str:
+        """Render as an aligned plain-text table.
+
+        ``index_headers`` overrides the leading column titles,
+        ``column_header`` maps a column key to its title (e.g. append a
+        unit), and ``value_format``/``index_format`` are ``str.format``
+        patterns or callables applied to cells / index values.
+        """
+        from repro.core.report import format_table
+
+        def _fmt(pattern, value):
+            if value is None:
+                return missing
+            if pattern is None:
+                return str(value)
+            if callable(pattern):
+                return pattern(value)
+            return pattern.format(value)
+
+        headers = list(index_headers) if index_headers else list(self.index_columns)
+        if len(headers) != len(self.index_columns):
+            raise ValueError("index_headers must match the number of index columns")
+        headers += [column_header(key) if column_header else str(key) for key in self.col_keys]
+        rows = []
+        for row_key in self.row_keys:
+            row = [_fmt(index_format, part) for part in row_key]
+            row += [
+                _fmt(value_format, self.cells.get((row_key, col_key)))
+                for col_key in self.col_keys
+            ]
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+class ResultFrame:
+    """A tidy table of measurement records (one row per repetition x metric).
+
+    Rows are plain dictionaries; the frame guarantees nothing about their
+    keys beyond what the constructor was given, which is what lets the same
+    verbs serve per-repetition metrics, per-interval timelines and survey
+    usage counts alike.
+    """
+
+    def __init__(self, rows: Optional[Iterable[Mapping[str, Any]]] = None) -> None:
+        self._rows: List[Dict[str, Any]] = [dict(row) for row in rows or []]
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_cells(
+        cls, cells: Iterable[Tuple[Mapping[str, Any], Iterable[RunResult]]]
+    ) -> "ResultFrame":
+        """Build a frame from ``(axes, runs)`` pairs (one pair per grid cell)."""
+        frame = cls()
+        for axes, runs in cells:
+            for run in runs:
+                frame._rows.extend(rows_for_run(axes, run))
+        return frame
+
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Add one record."""
+        self._rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, Any]]) -> None:
+        """Add many records."""
+        for row in rows:
+            self.append(row)
+
+    # ---------------------------------------------------------------- basics
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """The records themselves (the frame's own list; copy before mutating)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResultFrame) and self._rows == other._rows
+
+    def __add__(self, other: "ResultFrame") -> "ResultFrame":
+        if not isinstance(other, ResultFrame):
+            return NotImplemented
+        return ResultFrame(self._rows + other._rows)
+
+    def columns(self) -> List[str]:
+        """Every key appearing in any row, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self._rows:
+            for key in row:
+                seen.setdefault(key)
+        return list(seen)
+
+    def unique(self, column: str) -> List[Any]:
+        """Distinct values of one column, in first-seen order (absent -> None)."""
+        seen: Dict[Any, None] = {}
+        for row in self._rows:
+            seen.setdefault(row.get(column))
+        return list(seen)
+
+    def metrics(self) -> List[str]:
+        """Distinct metric names present, in first-seen order."""
+        return [metric for metric in self.unique("metric") if metric is not None]
+
+    # ---------------------------------------------------------------- queries
+    def filter(
+        self,
+        predicate: Optional[Callable[[Mapping[str, Any]], bool]] = None,
+        **equals: Any,
+    ) -> "ResultFrame":
+        """Rows matching every ``column=value`` pair (and ``predicate`` if given)."""
+        selected = []
+        for row in self._rows:
+            if any(row.get(column) != value for column, value in equals.items()):
+                continue
+            if predicate is not None and not predicate(row):
+                continue
+            selected.append(row)
+        return ResultFrame(selected)
+
+    def values(self, metric: Optional[str] = None, **equals: Any) -> List[Any]:
+        """The ``value`` column of the matching rows (optionally one metric)."""
+        if metric is not None:
+            equals["metric"] = metric
+        return [row.get("value") for row in self.filter(**equals)]
+
+    def summary(self, metric: str = "throughput_ops_s", **equals: Any) -> SummaryStatistics:
+        """Summary statistics of one metric across the matching rows."""
+        return summarize([float(v) for v in self.values(metric=metric, **equals)])
+
+    def group_by(self, *columns: str) -> List[Tuple[Tuple[Any, ...], "ResultFrame"]]:
+        """Split into per-key sub-frames, keys in first-seen order."""
+        if not columns:
+            raise ValueError("group_by needs at least one column")
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        for row in self._rows:
+            key = tuple(row.get(column) for column in columns)
+            groups.setdefault(key, []).append(row)
+        return [(key, ResultFrame(rows)) for key, rows in groups.items()]
+
+    def pivot(
+        self,
+        index: Union[str, Sequence[str]],
+        columns: str,
+        values: str = "value",
+        aggregate: str = "mean",
+    ) -> PivotTable:
+        """Cross-tabulate: ``index`` down, distinct ``columns`` values across.
+
+        Cells aggregate the ``values`` column of every matching row with one
+        of ``mean``/``sum``/``min``/``max``/``count``/``first``.  Row and
+        column keys keep first-seen order, so pivoting an ordered frame
+        reproduces the order its producer intended.
+        """
+        index_columns = (index,) if isinstance(index, str) else tuple(index)
+        if not index_columns:
+            raise ValueError("pivot needs at least one index column")
+        try:
+            fold = _AGGREGATES[aggregate]
+        except KeyError:
+            known = ", ".join(sorted(_AGGREGATES))
+            raise ValueError(f"unknown aggregate {aggregate!r} (known: {known})") from None
+
+        row_keys: Dict[Tuple[Any, ...], None] = {}
+        col_keys: Dict[Any, None] = {}
+        buckets: Dict[Tuple[Tuple[Any, ...], Any], List[Any]] = {}
+        for row in self._rows:
+            row_key = tuple(row.get(column) for column in index_columns)
+            col_key = row.get(columns)
+            row_keys.setdefault(row_key)
+            col_keys.setdefault(col_key)
+            buckets.setdefault((row_key, col_key), []).append(row.get(values))
+        try:
+            cells = {key: fold(bucket) for key, bucket in buckets.items()}
+        except TypeError:
+            raise TypeError(
+                f"aggregate {aggregate!r} needs numeric values; "
+                "use aggregate='first' for non-numeric cells"
+            ) from None
+        return PivotTable(
+            index_columns=index_columns,
+            column_name=columns,
+            row_keys=list(row_keys),
+            col_keys=list(col_keys),
+            cells=cells,
+        )
+
+    # ------------------------------------------------------------- interchange
+    def to_jsonl(self, destination: Union[str, TextIO]) -> None:
+        """Write one JSON object per line (the lossless interchange format)."""
+        if isinstance(destination, str):
+            with open(destination, "w") as handle:
+                self.to_jsonl(handle)
+            return
+        for row in self._rows:
+            destination.write(json.dumps(row, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, TextIO]) -> "ResultFrame":
+        """Read a frame written by :meth:`to_jsonl`."""
+        if isinstance(source, str):
+            with open(source, "r") as handle:
+                return cls.from_jsonl(handle)
+        return cls(json.loads(line) for line in source if line.strip())
+
+    def to_csv(self, destination: Union[str, TextIO]) -> None:
+        """Write as CSV with the union of all columns as the header.
+
+        ``None`` becomes the empty string; :meth:`from_csv` reverses that and
+        restores int/float/bool types heuristically, so frames of scalar
+        records round-trip.  JSONL is the lossless format for anything else.
+        """
+        if isinstance(destination, str):
+            with open(destination, "w", newline="") as handle:
+                self.to_csv(handle)
+            return
+        columns = self.columns()
+        writer = csv.writer(destination)
+        writer.writerow(columns)
+        for row in self._rows:
+            writer.writerow(["" if row.get(c) is None else row.get(c) for c in columns])
+
+    @classmethod
+    def from_csv(cls, source: Union[str, TextIO]) -> "ResultFrame":
+        """Read a frame written by :meth:`to_csv` (types restored heuristically)."""
+        if isinstance(source, str):
+            with open(source, "r", newline="") as handle:
+                return cls.from_csv(handle)
+        reader = csv.reader(source)
+        try:
+            columns = next(reader)
+        except StopIteration:
+            return cls()
+        return cls(
+            {column: _parse_csv_value(cell) for column, cell in zip(columns, row)}
+            for row in reader
+        )
+
+    def to_csv_text(self) -> str:
+        """The CSV serialisation as a string (convenience for small frames)."""
+        buffer = io.StringIO()
+        self.to_csv(buffer)
+        return buffer.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultFrame({len(self._rows)} rows, columns={self.columns()})"
+
+
+def _parse_csv_value(cell: str) -> Any:
+    """Invert the CSV stringification: '' -> None, numbers -> int/float."""
+    if cell == "":
+        return None
+    if cell == "True":
+        return True
+    if cell == "False":
+        return False
+    try:
+        return int(cell)
+    except ValueError:
+        pass
+    try:
+        return float(cell)
+    except ValueError:
+        return cell

@@ -36,7 +36,7 @@ import os
 import tempfile
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.persistence import load_run_result, save_run_result
 from repro.core.results import RepetitionSet, RunResult
@@ -353,8 +353,19 @@ class ParallelExecutor:
         self.cache = cache
 
     # ------------------------------------------------------------ execution
-    def run_units(self, units: Sequence[WorkUnit]) -> List[RunResult]:
-        """Execute every unit (or fetch it from cache); results in unit order."""
+    def run_units(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: Optional[Callable[[WorkUnit, RunResult, bool], None]] = None,
+    ) -> List[RunResult]:
+        """Execute every unit (or fetch it from cache); results in unit order.
+
+        ``on_result(unit, run, cached)`` is a streaming progress hook: it
+        fires for every cache hit during the initial scan and then for every
+        fresh result as it completes (completion order under a pool).  The
+        returned list is unaffected -- still unit order, still bit-identical
+        for any worker count.
+        """
         units = list(units)
         results: List[Optional[RunResult]] = [None] * len(units)
 
@@ -369,23 +380,34 @@ class ParallelExecutor:
                     # repetition index is bookkeeping relative to *this* run.
                     cached.repetition = unit.repetition
                     results[index] = cached
+                    if on_result is not None:
+                        on_result(unit, cached, True)
                     continue
             pending.append(index)
 
-        for index, run in zip(pending, self._execute([units[i] for i in pending])):
+        def _store(index: int, run: RunResult) -> None:
             if self.cache is not None:
                 self.cache.put(keys[index], run)
             results[index] = run
+            if on_result is not None:
+                on_result(units[index], run, False)
+
+        self._execute([units[i] for i in pending], pending, _store)
         return results  # type: ignore[return-value]
 
-    def run_repetition_sets(self, units: Sequence[WorkUnit]) -> Dict[str, RepetitionSet]:
+    def run_repetition_sets(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: Optional[Callable[[WorkUnit, RunResult, bool], None]] = None,
+    ) -> Dict[str, RepetitionSet]:
         """Execute units and reassemble them into per-group repetition sets.
 
         Groups appear in first-encounter order and each set's runs stay in
         unit order, so serial and parallel assembly are indistinguishable.
+        ``on_result`` streams per-unit completions (see :meth:`run_units`).
         """
         units = list(units)
-        runs = self.run_units(units)
+        runs = self.run_units(units, on_result=on_result)
         sets: Dict[str, RepetitionSet] = {}
         for unit, run in zip(units, runs):
             label = unit.group or f"{unit.spec.name}@{unit.fs_type}"
@@ -395,21 +417,44 @@ class ParallelExecutor:
         return sets
 
     # ------------------------------------------------------------- internals
-    def _execute(self, units: List[WorkUnit]) -> Iterable[RunResult]:
+    def _execute(
+        self,
+        units: List[WorkUnit],
+        indices: List[int],
+        store: Callable[[int, RunResult], None],
+    ) -> None:
+        """Run ``units`` and hand each result to ``store(original_index, run)``.
+
+        Delivery order is completion order (so progress hooks stream), but
+        ``store`` places results by index, so callers always observe unit
+        order.  Each index is delivered exactly once.
+        """
         if not units:
-            return []
+            return
         if self.n_workers == 1 or len(units) == 1:
-            return [execute_unit(unit) for unit in units]
-        from concurrent.futures import ProcessPoolExecutor
+            for index, unit in zip(indices, units):
+                store(index, execute_unit(unit))
+            return
+        from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
 
         workers = min(self.n_workers, len(units))
+        delivered = set()
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(execute_unit, units))
+                futures = {
+                    pool.submit(execute_unit, unit): position
+                    for position, unit in enumerate(units)
+                }
+                for future in as_completed(futures):
+                    position = futures[future]
+                    store(indices[position], future.result())
+                    delivered.add(position)
         except BrokenProcessPool:  # pragma: no cover - sandboxed hosts
             # Workers could not be spawned (hosts that forbid subprocess
-            # creation) or died wholesale; re-run serially -- same results,
-            # just slower.  Errors raised *by a unit* are not caught here:
-            # they propagate as themselves.
-            return [execute_unit(unit) for unit in units]
+            # creation) or died wholesale; re-run the undelivered remainder
+            # serially -- same results, just slower.  Errors raised *by a
+            # unit* are not caught here: they propagate as themselves.
+            for position, unit in enumerate(units):
+                if position not in delivered:
+                    store(indices[position], execute_unit(unit))

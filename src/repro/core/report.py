@@ -36,6 +36,17 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
     return "\n".join(lines)
 
 
+def checks_line(checks: Dict[str, bool]) -> str:
+    """The one-line PASS/FAIL summary every harness report ends with.
+
+    Shared by all figure/table result classes (they used to hand-roll the
+    same join) so the qualitative-claims footer reads identically everywhere.
+    """
+    return "Qualitative checks: " + ", ".join(
+        f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
+    )
+
+
 def ascii_plot(
     points: Sequence[Tuple[float, float]],
     width: int = 60,

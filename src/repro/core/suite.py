@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.benchmark import NanoBenchmark
 from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.parallel import (
     ParallelExecutor,
     ResultCache,
@@ -267,6 +268,33 @@ class NanoBenchmarkSuite:
                 )
         return units
 
+    def as_experiment(self, fs_types: Sequence[str] = DEFAULT_FS_TYPES) -> Experiment:
+        """This suite as a declarative :class:`~repro.core.experiment.Experiment`.
+
+        The grid is ``workload (the suite's benchmarks) x fs`` -- plus the
+        aging snapshot when configured -- expanded workload-major exactly
+        like the legacy serial loop.  Duplicate file system names are
+        dropped (keeping first occurrence), matching the old behaviour where
+        a repeated ``--fs`` simply overwrote the same result cell.  Cells and
+        cache keys are identical to what :meth:`work_units` produces, so a
+        suite run and an equivalent experiment run share every cache entry.
+        """
+        if not fs_types:
+            raise ValueError("fs_types must not be empty")
+        axes = {
+            "workload": list(self.benchmarks),
+            "fs": list(dict.fromkeys(fs_types)),
+        }
+        if self.snapshot_path is not None:
+            axes["snapshot"] = [self.snapshot_path]
+        return Experiment(
+            grid=ParameterGrid(axes),
+            name="nano-benchmark-suite",
+            testbed=self.testbed,
+            n_workers=self.n_workers,
+            cache_dir=self.cache_dir,
+        )
+
     def run(
         self,
         fs_types: Sequence[str] = DEFAULT_FS_TYPES,
@@ -274,15 +302,21 @@ class NanoBenchmarkSuite:
     ) -> SuiteResult:
         """Run every benchmark on every file system.
 
-        ``executor`` overrides the suite's own executor (used by surveys that
-        share one cache and worker pool across several suites).
+        Since the experiment-API redesign this is a thin shim: the suite
+        declares itself as an :class:`~repro.core.experiment.Experiment`
+        (see :meth:`as_experiment`) and reassembles the familiar
+        :class:`SuiteResult`; results and cache keys are bit-identical to
+        the pre-redesign path.  ``executor`` overrides the suite's own
+        executor (used by surveys that share one cache and worker pool
+        across several suites).
         """
-        if not fs_types:
-            raise ValueError("fs_types must not be empty")
-        executor = executor if executor is not None else self.make_executor()
-        sets = executor.run_repetition_sets(self.work_units(fs_types))
+        outcome = self.as_experiment(fs_types).run(
+            executor=executor if executor is not None else self.make_executor()
+        )
         suite_result = SuiteResult(testbed=self.testbed)
         for benchmark in self.benchmarks:
             for fs_type in dict.fromkeys(fs_types):
-                suite_result.add(benchmark, fs_type, sets[group_label(benchmark.name, fs_type)])
+                suite_result.add(
+                    benchmark, fs_type, outcome.sets[group_label(benchmark.name, fs_type)]
+                )
         return suite_result

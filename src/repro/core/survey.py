@@ -31,8 +31,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.frame import ResultFrame
 from repro.core.parallel import ParallelExecutor
-from repro.core.report import format_table
 from repro.core.suite import NanoBenchmarkSuite, SuiteResult
 from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.storage.config import TestbedConfig
@@ -303,20 +303,33 @@ class SurveyDatabase:
         return counts
 
     # -------------------------------------------------------------- rendering
+    def to_frame(self) -> ResultFrame:
+        """The survey as a tidy frame: one row per benchmark per column.
+
+        Coverage symbols and usage counts share the ``metric``/``value``
+        shape, so the whole of Table 1 is one
+        :meth:`~repro.core.frame.ResultFrame.pivot` away.
+        """
+        frame = ResultFrame()
+        for entry in self.entries():
+            symbols = entry.coverage.row_symbols()
+            for dimension, symbol in zip(Dimension.ordered(), symbols):
+                frame.append(
+                    {"benchmark": entry.name, "metric": dimension.title, "value": symbol}
+                )
+            frame.append(
+                {"benchmark": entry.name, "metric": "1999-2007", "value": entry.uses_1999_2007}
+            )
+            frame.append(
+                {"benchmark": entry.name, "metric": "2009-2010", "value": entry.uses_2009_2010}
+            )
+        return frame
+
     def render_table1(self) -> str:
         """Regenerate Table 1 as plain text (legend matches the paper)."""
-        headers = (
-            ["Benchmark"]
-            + [d.title for d in Dimension.ordered()]
-            + ["1999-2007", "2009-2010"]
-        )
-        rows = []
-        for entry in self.entries():
-            rows.append(
-                [entry.name]
-                + entry.coverage.row_symbols()
-                + [entry.uses_1999_2007, entry.uses_2009_2010]
-            )
+        table = self.to_frame().pivot(
+            index="benchmark", columns="metric", aggregate="first"
+        ).render(index_headers=["Benchmark"])
         legend = (
             "\nLegend: '*' = evaluates and isolates the dimension; "
             "'o' = exercises it without isolating it; "
@@ -328,7 +341,7 @@ class SurveyDatabase:
             f"ad-hoc benchmarks account for {100 * self.adhoc_fraction('2009_2010'):.0f}% "
             "of 2009-2010 uses."
         )
-        return format_table(headers, rows) + legend + summary
+        return table + legend + summary
 
 
 # ------------------------------------------------------------ measured survey
@@ -353,15 +366,41 @@ class MeasuredSurveyResult:
         """Measured benchmark names whose primary dimension is ``dimension``."""
         return self.suite_result.by_dimension().get(dimension, [])
 
+    def to_frame(self) -> ResultFrame:
+        """The measured cells as a tidy frame (one row per benchmark x fs).
+
+        Cells carry the pre-formatted ``mean +/- relative stddev`` strings
+        (ranges, never single numbers, per the paper) plus the dimension for
+        grouping.
+        """
+        frame = ResultFrame()
+        fs_names = self.suite_result.filesystems()
+        for dimension in self.dimensions():
+            for name in self.benchmarks_for(dimension):
+                for fs_name in fs_names:
+                    summary = self.suite_result.result_for(name, fs_name).throughput_summary()
+                    frame.append(
+                        {
+                            "dimension": dimension.title,
+                            "benchmark": name,
+                            "fs": fs_name,
+                            "value": (
+                                f"{summary.mean:.0f} "
+                                f"+/-{summary.relative_stddev_percent:.0f}%"
+                            ),
+                        }
+                    )
+        return frame
+
     def render(self) -> str:
         """Per-dimension report: survey context plus measured ranges.
 
-        Every measured cell is shown as ``mean +/- relative stddev`` across
-        repetitions -- ranges, never single numbers, per the paper.
+        Each dimension's table is a pivot of :meth:`to_frame` -- the shared
+        frame renderer, not bespoke table code.
         """
         lines: List[str] = ["Measured dimension survey", "========================="]
         use_counts = self.database.dimension_use_counts()
-        fs_names = self.suite_result.filesystems()
+        frame = self.to_frame()
         for dimension in self.dimensions():
             isolating = self.database.isolating_benchmarks(dimension)
             lines.append("")
@@ -373,15 +412,14 @@ class MeasuredSurveyResult:
                 "  published benchmarks isolating it: "
                 + (", ".join(isolating) if isolating else "(none)")
             )
-            headers = ["Nano-benchmark"] + [f"{fs} (ops/s)" for fs in fs_names]
-            rows = []
-            for name in self.benchmarks_for(dimension):
-                row = [name]
-                for fs_name in fs_names:
-                    summary = self.suite_result.result_for(name, fs_name).throughput_summary()
-                    row.append(f"{summary.mean:.0f} +/-{summary.relative_stddev_percent:.0f}%")
-                rows.append(row)
-            lines.append(format_table(headers, rows))
+            lines.append(
+                frame.filter(dimension=dimension.title)
+                .pivot(index="benchmark", columns="fs", aggregate="first")
+                .render(
+                    index_headers=["Nano-benchmark"],
+                    column_header=lambda fs: f"{fs} (ops/s)",
+                )
+            )
         return "\n".join(lines)
 
 

@@ -14,14 +14,18 @@ paper's observations this harness must reproduce:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.fragility import FragilityReport, assess_sweep
 from repro.analysis.transition import TransitionRegion, find_transition
-from repro.core.report import sweep_table
-from repro.core.results import SweepResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, WarmupMode
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.frame import ResultFrame, rows_for_run
+from repro.core.parallel import group_label
+from repro.core.report import checks_line, sweep_table
+from repro.core.results import RepetitionSet, SweepResult
+from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.experiments.config import ExperimentScale, MiB, default_scale
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import random_read_workload
@@ -43,6 +47,23 @@ class Figure1Result:
     transition: Optional[TransitionRegion]
     fragility: FragilityReport
     scale_name: str
+
+    def to_frame(self) -> ResultFrame:
+        """The sweep as a tidy frame (one row per size x repetition x metric)."""
+        frame = ResultFrame()
+        for size_bytes in self.sweep.parameters():
+            for run in self.sweep.repetitions_at(size_bytes):
+                frame.extend(
+                    rows_for_run(
+                        {
+                            "experiment": "figure1",
+                            "fs": self.fs_type,
+                            "file_size_mb": int(size_bytes // MiB),
+                        },
+                        run,
+                    )
+                )
+        return frame
 
     def rows(self) -> List[Tuple[int, float, float]]:
         """(file size MiB, mean ops/s, relative stddev %) rows in sweep order."""
@@ -107,9 +128,7 @@ class Figure1Result:
         ))
         checks = self.checks()
         lines.append("")
-        lines.append("Qualitative checks: " + ", ".join(
-            f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items()
-        ))
+        lines.append(checks_line(checks))
         return "\n".join(lines)
 
 
@@ -120,7 +139,20 @@ def run_figure1(
     sizes_mb: Optional[List[int]] = None,
     seed: int = 42,
 ) -> Figure1Result:
-    """Run the Figure 1 sweep and return its result object."""
+    """Run the Figure 1 sweep and return its result object.
+
+    .. deprecated:: 1.3
+        Thin shim over the declarative experiment API: the sweep is one
+        :class:`~repro.core.experiment.Experiment` with a workload axis of
+        per-size random-read specs.  Declare the grid directly for anything
+        beyond regenerating the paper's figure.
+    """
+    warnings.warn(
+        "run_figure1 is a deprecation shim; declare an Experiment with a "
+        "workload axis of per-size specs instead (repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale if scale is not None else default_scale()
     scale.validate()
     testbed = testbed if testbed is not None else paper_testbed()
@@ -133,11 +165,20 @@ def run_figure1(
         interval_s=max(1.0, scale.figure1_duration_s / 5.0),
         seed=seed,
     )
+    specs = {size_mb: random_read_workload(size_mb * MiB) for size_mb in sizes}
+    outcome = Experiment(
+        grid=ParameterGrid.of(workload=list(specs.values()), fs=[fs_type]),
+        name="figure1",
+        config=config,
+        testbed=testbed,
+    ).run()
+
     sweep = SweepResult(parameter_name="file_size", unit="bytes")
-    for size_mb in sizes:
-        runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
-        spec = random_read_workload(size_mb * MiB)
-        sweep.add(size_mb * MiB, runner.run(spec, label=f"{size_mb}MB"))
+    for size_mb, spec in specs.items():
+        repetitions = outcome.sets[group_label(spec.name, fs_type)]
+        sweep.add(
+            size_mb * MiB, RepetitionSet(label=f"{size_mb}MB", runs=list(repetitions.runs))
+        )
 
     return Figure1Result(
         fs_type=fs_type,

@@ -13,12 +13,16 @@ recorded every 10 seconds from a cold cache.  The paper's observations:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.report import format_table
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.frame import ResultFrame
+from repro.core.parallel import group_label
+from repro.core.report import checks_line
 from repro.core.results import RunResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
+from repro.core.runner import BenchmarkConfig, EnvironmentNoise, WarmupMode
 from repro.core.steady_state import detect_steady_state
 from repro.experiments.config import ExperimentScale, MiB, default_scale
 from repro.storage.config import TestbedConfig, paper_testbed, scaled_testbed
@@ -92,25 +96,40 @@ class Figure2Result:
             "filesystems_warm_at_different_times": distinct_order,
         }
 
+    def to_frame(self) -> ResultFrame:
+        """The warm-up curves as a tidy frame (one row per fs x interval)."""
+        frame = ResultFrame()
+        for fs in self.filesystems():
+            timeline = self.runs[fs].timeline
+            for index, throughput in enumerate(timeline.throughputs()):
+                frame.append(
+                    {
+                        "experiment": "figure2",
+                        "fs": fs,
+                        "time_s": (index + 1) * timeline.interval_s,
+                        "metric": "interval_throughput_ops_s",
+                        "value": throughput,
+                    }
+                )
+        return frame
+
     def render(self) -> str:
-        """Figure-2-as-text: one throughput column per file system."""
-        fs_names = self.filesystems()
-        lengths = [len(self.runs[fs].timeline.throughputs()) for fs in fs_names]
-        rows = []
-        for index in range(max(lengths) if lengths else 0):
-            row: List[object] = [f"{(index + 1) * self.runs[fs_names[0]].timeline.interval_s:.0f}"]
-            for fs in fs_names:
-                throughputs = self.runs[fs].timeline.throughputs()
-                row.append(f"{throughputs[index]:.0f}" if index < len(throughputs) else "")
-            rows.append(row)
-        table = format_table(["time (s)"] + [f"{fs} ops/s" for fs in fs_names], rows)
+        """Figure-2-as-text: one throughput column per file system.
+
+        The table is a pivot of :meth:`to_frame` (time down, file systems
+        across) -- the shared frame renderer, not bespoke table code.
+        """
+        table = self.to_frame().pivot(index="time_s", columns="fs").render(
+            index_headers=["time (s)"],
+            column_header=lambda fs: f"{fs} ops/s",
+            value_format="{:.0f}",
+            index_format="{:.0f}",
+        )
         start_ratio, end_ratio = self.endpoint_agreement()
-        checks = self.checks()
         summary = (
             f"\nCold-start cross-FS ratio {start_ratio:.2f}x, warm ratio {end_ratio:.2f}x, "
             f"worst mid-run ratio {self.mid_run_spread():.1f}x\n"
-            + "Qualitative checks: "
-            + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
+            + checks_line(self.checks())
         )
         return (
             f"Figure 2 reproduction -- {self.file_size_bytes // MiB} MB file, random read from cold cache\n\n"
@@ -133,6 +152,12 @@ def run_figure2(
     the default regeneration stays fast while preserving the curve's shape;
     ``paper_scale()`` uses the full 512 MB machine and its 410 MB file.
     """
+    warnings.warn(
+        "run_figure2 is a deprecation shim; declare an Experiment with an fs "
+        "axis instead (repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale if scale is not None else default_scale()
     scale.validate()
     if testbed is None:
@@ -156,9 +181,15 @@ def run_figure2(
         # in the cache for the warm endpoint to be reached).
         noise=EnvironmentNoise(enabled=False),
     )
+    spec = random_read_workload(file_size)
+    ordered_fs = list(dict.fromkeys(fs_types))
+    outcome = Experiment(
+        grid=ParameterGrid.of(fs=ordered_fs, workload=[spec]),
+        name="figure2",
+        config=config,
+        testbed=testbed,
+    ).run()
     result = Figure2Result(file_size_bytes=file_size, scale_name=scale.name)
-    for fs_type in fs_types:
-        runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
-        repetitions = runner.run(random_read_workload(file_size), label=f"figure2-{fs_type}")
-        result.runs[fs_type] = repetitions.first()
+    for fs_type in ordered_fs:
+        result.runs[fs_type] = outcome.sets[group_label(spec.name, fs_type)].first()
     return result

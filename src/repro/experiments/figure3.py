@@ -15,12 +15,16 @@ sizes spanning the working-set spectrum.  The paper's observations:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.histogram import LatencyHistogram, bucket_label
+from repro.core.parallel import group_label
+from repro.core.report import checks_line
 from repro.core.results import RunResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, WarmupMode
+from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.experiments.config import ExperimentScale, MiB, default_scale
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import random_read_workload
@@ -90,11 +94,7 @@ class Figure3Result:
             lines.append(f"--- {size_mb} MB file: n={histogram.total}, peaks at buckets [{modes}]")
             lines.append(histogram.to_ascii())
             lines.append("")
-        checks = self.checks()
-        lines.append(
-            "Qualitative checks: "
-            + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
-        )
+        lines.append(checks_line(self.checks()))
         return "\n".join(lines)
 
 
@@ -105,26 +105,43 @@ def run_figure3(
     sizes_mb: Optional[Sequence[int]] = None,
     seed: int = 42,
 ) -> Figure3Result:
-    """Collect the Figure 3 latency histograms."""
+    """Collect the Figure 3 latency histograms.
+
+    .. deprecated:: 1.3
+        Thin shim over one :class:`~repro.core.experiment.Experiment` with a
+        per-size workload axis.
+    """
+    warnings.warn(
+        "run_figure3 is a deprecation shim; declare an Experiment with a "
+        "workload axis of per-size specs instead (repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale if scale is not None else default_scale()
     scale.validate()
     testbed = testbed if testbed is not None else paper_testbed()
     sizes = list(sizes_mb) if sizes_mb is not None else list(scale.figure3_sizes_mb)
 
+    config = BenchmarkConfig(
+        duration_s=0.0,
+        max_ops=scale.figure3_ops,
+        repetitions=1,
+        warmup_mode=WarmupMode.PREWARM,
+        interval_s=10.0,
+        cold_cache=True,
+        seed=seed,
+    )
+    specs = {size_mb: random_read_workload(size_mb * MiB) for size_mb in sizes}
+    outcome = Experiment(
+        grid=ParameterGrid.of(workload=list(specs.values()), fs=[fs_type]),
+        name="figure3",
+        config=config,
+        testbed=testbed,
+    ).run()
+
     result = Figure3Result(scale_name=scale.name)
-    for size_mb in sizes:
-        config = BenchmarkConfig(
-            duration_s=0.0,
-            max_ops=scale.figure3_ops,
-            repetitions=1,
-            warmup_mode=WarmupMode.PREWARM,
-            interval_s=10.0,
-            cold_cache=True,
-            seed=seed,
-        )
-        runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
-        repetitions = runner.run(random_read_workload(size_mb * MiB), label=f"figure3-{size_mb}MB")
-        run = repetitions.first()
+    for size_mb, spec in specs.items():
+        run = outcome.sets[group_label(spec.name, fs_type)].first()
         result.histograms[size_mb] = run.histogram
         result.runs[size_mb] = run
     return result

@@ -13,11 +13,16 @@ in the cache), started cold, with a latency histogram collected for every
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.frame import ResultFrame
+from repro.core.parallel import group_label
+from repro.core.report import checks_line
 from repro.core.results import RunResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
+from repro.core.runner import BenchmarkConfig, EnvironmentNoise, WarmupMode
 from repro.core.timeline import HistogramTimeline
 from repro.experiments.config import ExperimentScale, MiB, default_scale
 from repro.experiments.figure3 import DISK_PEAK_BUCKET_RANGE, MEMORY_PEAK_BUCKET_RANGE
@@ -82,25 +87,36 @@ class Figure4Result:
             "bimodal_for_much_of_run": self.bimodal_fraction() >= 0.3,
         }
 
+    def to_frame(self) -> ResultFrame:
+        """The histogram-vs-time surface as a tidy frame (rows per interval)."""
+        frame = ResultFrame()
+        for time_s, disk, memory in self.peak_migration():
+            histogram_index = int(time_s / self.timeline.interval_s) - 1
+            bimodal = self.timeline.histogram_at(histogram_index).is_bimodal()
+            base = {"experiment": "figure4", "fs": self.fs_type, "time_s": time_s}
+            frame.append({**base, "metric": "disk-peak %", "value": round(100 * disk, 1)})
+            frame.append({**base, "metric": "memory-peak %", "value": round(100 * memory, 1)})
+            frame.append({**base, "metric": "bimodal", "value": "yes" if bimodal else "no"})
+        return frame
+
     def render(self) -> str:
-        """Figure-4-as-text: per-interval peak fractions and modality."""
+        """Figure-4-as-text: per-interval peak fractions and modality.
+
+        The table is a pivot of :meth:`to_frame` (time down, metrics across)
+        -- the shared frame renderer, not bespoke table code.
+        """
+        table = self.to_frame().pivot(
+            index="time_s", columns="metric", aggregate="first"
+        ).render(index_headers=["time (s)"], index_format="{:.0f}")
         lines = [
             f"Figure 4 reproduction -- {self.fs_type}, {self.file_size_bytes // MiB} MB file, "
             "histograms per 10 s interval",
             "",
-            f"{'time (s)':>9}  {'disk-peak %':>11}  {'memory-peak %':>13}  bimodal",
+            table,
+            "",
+            f"Bi-modal intervals: {100 * self.bimodal_fraction():.0f}% of the run",
+            checks_line(self.checks()),
         ]
-        for time_s, disk, memory in self.peak_migration():
-            histogram_index = int(time_s / self.timeline.interval_s) - 1
-            bimodal = self.timeline.histogram_at(histogram_index).is_bimodal()
-            lines.append(f"{time_s:9.0f}  {100 * disk:11.1f}  {100 * memory:13.1f}  {'yes' if bimodal else 'no'}")
-        checks = self.checks()
-        lines.append("")
-        lines.append(f"Bi-modal intervals: {100 * self.bimodal_fraction():.0f}% of the run")
-        lines.append(
-            "Qualitative checks: "
-            + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
-        )
         return "\n".join(lines)
 
 
@@ -110,7 +126,18 @@ def run_figure4(
     scale: Optional[ExperimentScale] = None,
     seed: int = 42,
 ) -> Figure4Result:
-    """Run the histogram-over-time experiment."""
+    """Run the histogram-over-time experiment.
+
+    .. deprecated:: 1.3
+        Thin shim over a single-cell
+        :class:`~repro.core.experiment.Experiment`.
+    """
+    warnings.warn(
+        "run_figure4 is a deprecation shim; declare an Experiment instead "
+        "(repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale if scale is not None else default_scale()
     scale.validate()
     testbed = testbed if testbed is not None else paper_testbed()
@@ -126,11 +153,16 @@ def run_figure4(
         seed=seed,
         noise=EnvironmentNoise(enabled=False),
     )
-    runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
-    repetitions = runner.run(random_read_workload(file_size), label=f"figure4-{fs_type}")
+    spec = random_read_workload(file_size)
+    outcome = Experiment(
+        grid=ParameterGrid.of(workload=[spec], fs=[fs_type]),
+        name="figure4",
+        config=config,
+        testbed=testbed,
+    ).run()
     return Figure4Result(
         fs_type=fs_type,
         file_size_bytes=file_size,
-        run=repetitions.first(),
+        run=outcome.sets[group_label(spec.name, fs_type)].first(),
         scale_name=scale.name,
     )

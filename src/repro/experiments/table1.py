@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.dimensions import Dimension
+from repro.core.report import checks_line
 from repro.core.survey import (
     MeasuredSurvey,
     MeasuredSurveyResult,
@@ -88,11 +89,7 @@ class Table1Result:
             f"Survey scope: {PAPERS_SURVEYED_2009_2010} papers reviewed for 2009-2010, "
             f"{PAPERS_WITH_EVALUATION_2009_2010} with a relevant evaluation.",
         ]
-        checks = self.checks()
-        lines.append(
-            "Qualitative checks: "
-            + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
-        )
+        lines.append(checks_line(self.checks()))
         if self.measured is not None:
             lines.append("")
             lines.append(self.measured.render())
@@ -111,7 +108,10 @@ def run_table1(
     When ``measured_fs_types`` is given, also run the measured survey across
     those file systems (the table's executable counterpart) and attach it to
     the result; the remaining parameters configure that run exactly as they
-    do :class:`~repro.core.survey.MeasuredSurvey`.
+    do :class:`~repro.core.survey.MeasuredSurvey`.  Since the experiment-API
+    redesign the measured counterpart executes as a declarative
+    :class:`~repro.core.experiment.Experiment` (survey -> suite ->
+    ``as_experiment``); this function is the thin compatibility shim over it.
     """
     database = load_paper_survey()
     measured = None

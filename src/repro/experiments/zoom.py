@@ -13,13 +13,16 @@ measures how the relative standard deviation spikes inside it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.transition import TransitionRegion, find_transition, refine_transition
-from repro.core.report import sweep_table
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.parallel import group_label
+from repro.core.report import checks_line, sweep_table
 from repro.core.results import RepetitionSet, SweepResult
-from repro.core.runner import BenchmarkConfig, BenchmarkRunner, WarmupMode
+from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.experiments.config import ExperimentScale, MiB, default_scale
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import random_read_workload
@@ -74,11 +77,7 @@ class TransitionZoomResult:
         lines.append(sweep_table(self.fine_sweep))
         lines.append("")
         lines.append(f"Peak relative standard deviation in the region: {self.peak_rsd_percent():.0f}%")
-        checks = self.checks()
-        lines.append(
-            "Qualitative checks: "
-            + ", ".join(f"{name}={'PASS' if ok else 'FAIL'}" for name, ok in checks.items())
-        )
+        lines.append(checks_line(self.checks()))
         return "\n".join(lines)
 
 
@@ -90,7 +89,19 @@ def run_transition_zoom(
     fine_step_mb: int = 8,
     target_width_mb: float = 8.0,
 ) -> TransitionZoomResult:
-    """Locate the Figure-1 cliff, bisect it, and sweep finely across it."""
+    """Locate the Figure-1 cliff, bisect it, and sweep finely across it.
+
+    .. deprecated:: 1.3
+        Thin shim: every measurement is one single-cell
+        :class:`~repro.core.experiment.Experiment` run (the zoom is adaptive,
+        so the grid is built one point at a time).
+    """
+    warnings.warn(
+        "run_transition_zoom is a deprecation shim; drive single-cell "
+        "Experiments from your own bisection instead (repro.core.experiment)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     scale = scale if scale is not None else default_scale()
     scale.validate()
     testbed = testbed if testbed is not None else paper_testbed()
@@ -106,9 +117,17 @@ def run_transition_zoom(
     )
 
     def measure(size_bytes: float) -> RepetitionSet:
-        runner = BenchmarkRunner(fs_type=fs_type, testbed=testbed, config=config)
         spec = random_read_workload(int(size_bytes))
-        return runner.run(spec, label=f"zoom-{int(size_bytes) // MiB}MB")
+        outcome = Experiment(
+            grid=ParameterGrid.of(workload=[spec], fs=[fs_type]),
+            name="transition-zoom",
+            config=config,
+            testbed=testbed,
+        ).run()
+        repetitions = outcome.sets[group_label(spec.name, fs_type)]
+        return RepetitionSet(
+            label=f"zoom-{int(size_bytes) // MiB}MB", runs=list(repetitions.runs)
+        )
 
     # Coarse sweep bracketing the expected cliff (cache capacity +/- 64 MB).
     cache_bytes = testbed.page_cache_bytes

@@ -23,6 +23,8 @@ Everything here operates purely in simulated time; no real I/O is performed.
 
 from repro.storage.clock import VirtualClock
 from repro.storage.config import (
+    DEFAULT_DEVICE_KINDS,
+    DEVICE_REGISTRY,
     TestbedConfig,
     paper_testbed,
     scaled_testbed,
@@ -34,6 +36,7 @@ from repro.storage.cache import (
     make_cache,
 )
 from repro.storage.device import (
+    SCHEDULER_REGISTRY,
     BlockDevice,
     IORequest,
     IOScheduler,
@@ -59,6 +62,9 @@ from repro.storage.readahead import ReadaheadPolicy, ReadaheadState
 
 __all__ = [
     "VirtualClock",
+    "DEFAULT_DEVICE_KINDS",
+    "DEVICE_REGISTRY",
+    "SCHEDULER_REGISTRY",
     "TestbedConfig",
     "paper_testbed",
     "scaled_testbed",

@@ -13,7 +13,7 @@ RAM artificially limited to 512 MB and a single Maxtor 7L250S0 SATA disk.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Dict, Optional
 
 from repro.storage.cache import CachePolicy, PageCache
 from repro.storage.device import BlockDevice, make_scheduler
@@ -28,6 +28,19 @@ from repro.storage.disk import (
 
 MiB = 1024 * 1024
 GiB = 1024 * MiB
+
+#: Registry of device-model factories by name, mirroring ``FS_REGISTRY``:
+#: the single name->factory resolver behind ``TestbedConfig.device_kind`` and
+#: the experiment grid's ``device`` axis.  Each factory receives the testbed
+#: so device sizing (e.g. the ramdisk's capacity) can track the machine.
+DEVICE_REGISTRY: Dict[str, Callable[["TestbedConfig"], DeviceModel]] = {
+    "hdd": lambda testbed: MechanicalDisk(testbed.disk_geometry),
+    "ssd": lambda testbed: SolidStateDisk(),
+    "ramdisk": lambda testbed: RamDisk(capacity_bytes=max(4 * GiB, 8 * testbed.ram_bytes)),
+}
+
+#: Every registered device kind, in registry order.
+DEFAULT_DEVICE_KINDS = tuple(DEVICE_REGISTRY)
 
 
 @dataclass(frozen=True)
@@ -108,8 +121,9 @@ class TestbedConfig:
             raise ValueError("os_reserved_bytes must be in [0, ram_bytes)")
         if self.page_size <= 0 or self.page_size & (self.page_size - 1):
             raise ValueError("page_size must be a positive power of two")
-        if self.device_kind not in ("hdd", "ssd", "ramdisk"):
-            raise ValueError(f"unknown device_kind: {self.device_kind!r}")
+        if self.device_kind not in DEVICE_REGISTRY:
+            known = ", ".join(DEVICE_REGISTRY)
+            raise ValueError(f"unknown device_kind: {self.device_kind!r} (known: {known})")
         self.cpu.validate()
         if self.device_kind == "hdd":
             self.disk_geometry.validate()
@@ -127,12 +141,15 @@ class TestbedConfig:
 
     # ------------------------------------------------------------ builders
     def build_device_model(self) -> DeviceModel:
-        """Instantiate the configured device model."""
-        if self.device_kind == "hdd":
-            return MechanicalDisk(self.disk_geometry)
-        if self.device_kind == "ssd":
-            return SolidStateDisk()
-        return RamDisk(capacity_bytes=max(4 * GiB, 8 * self.ram_bytes))
+        """Instantiate the configured device model (via :data:`DEVICE_REGISTRY`)."""
+        try:
+            factory = DEVICE_REGISTRY[self.device_kind]
+        except KeyError:
+            known = ", ".join(DEVICE_REGISTRY)
+            raise ValueError(
+                f"unknown device_kind: {self.device_kind!r} (known: {known})"
+            ) from None
+        return factory(self)
 
     def build_block_device(self) -> BlockDevice:
         """Instantiate the block device (device model + scheduler)."""

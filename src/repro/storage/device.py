@@ -125,15 +125,20 @@ class DeadlineScheduler(IOScheduler):
         return result
 
 
+#: Registry of I/O scheduler constructors by name -- the name->factory
+#: resolver behind ``TestbedConfig.io_scheduler`` and the experiment grid's
+#: ``scheduler`` axis (mirrors ``FS_REGISTRY``).
+SCHEDULER_REGISTRY = {
+    "noop": NoopScheduler,
+    "elevator": ElevatorScheduler,
+    "deadline": DeadlineScheduler,
+}
+
+
 def make_scheduler(name: str) -> IOScheduler:
-    """Instantiate a scheduler by name (``noop``, ``elevator`` or ``deadline``)."""
-    table = {
-        "noop": NoopScheduler,
-        "elevator": ElevatorScheduler,
-        "deadline": DeadlineScheduler,
-    }
+    """Instantiate a scheduler by name (any key of :data:`SCHEDULER_REGISTRY`)."""
     try:
-        return table[name]()
+        return SCHEDULER_REGISTRY[name]()
     except KeyError:
         raise ValueError(f"unknown I/O scheduler: {name!r}") from None
 

@@ -13,8 +13,11 @@ unclear.  This subpackage provides:
 * Filebench-like macro personalities (:mod:`repro.workloads.personalities`),
 * PostMark-, compile- and IOmeter-like generators
   (:mod:`repro.workloads.postmark`, :mod:`repro.workloads.compilebench`,
-  :mod:`repro.workloads.iomix`), and
-* trace capture/replay (:mod:`repro.workloads.trace`).
+  :mod:`repro.workloads.iomix`),
+* trace capture/replay (:mod:`repro.workloads.trace`), and
+* ``WORKLOAD_REGISTRY`` (:mod:`repro.workloads.registry`): the name->factory
+  resolver behind the experiment grid's ``workload`` axis, mirroring
+  ``FS_REGISTRY``.
 """
 
 from repro.workloads.fileset import FilesetSpec, MaterializedFileset
@@ -54,8 +57,18 @@ from repro.workloads.spec import (
     WorkloadSpec,
 )
 from repro.workloads.trace import TraceRecord, TraceRecorder, TraceReplayer, load_trace, save_trace
+from repro.workloads.registry import (
+    WORKLOAD_REGISTRY,
+    postmark_workload,
+    register_workload,
+    registered_workloads,
+)
 
 __all__ = [
+    "WORKLOAD_REGISTRY",
+    "postmark_workload",
+    "register_workload",
+    "registered_workloads",
     "FilesetSpec",
     "MaterializedFileset",
     "append_workload",
