@@ -1,0 +1,81 @@
+"""Timing benchmarks for the flash subsystem's hot paths.
+
+The FTL sits under every device request of an ``ssd-ftl`` experiment cell,
+and preconditioning runs once per ``ssd-ftl-steady`` stack, so their
+wall-clock cost bounds how fast the fresh-vs-steady scenario family can be
+regenerated.
+"""
+
+import random
+
+from repro.storage.flash import (
+    FlashGeometry,
+    FlashTranslationLayer,
+    default_flash_geometry,
+    precondition_ssd,
+)
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+
+def _steady_ftl() -> FlashTranslationLayer:
+    geometry = FlashGeometry(
+        capacity_bytes=256 * MiB,
+        page_bytes=32 * KiB,
+        pages_per_block=64,
+        gc_low_watermark_blocks=3,
+        gc_high_watermark_blocks=6,
+    )
+    ftl = FlashTranslationLayer(geometry)
+    precondition_ssd(ftl, churn_pages_per_round=1024)
+    return ftl
+
+
+def test_bench_ftl_steady_write_path(benchmark):
+    """One random page overwrite on a steady-state FTL (GC amortised in)."""
+    ftl = _steady_ftl()
+    geometry = ftl.geometry
+    rng = random.Random(5)
+    offsets = [
+        rng.randrange(geometry.logical_pages) * geometry.page_bytes for _ in range(4096)
+    ]
+    index = 0
+
+    def steady_write():
+        nonlocal index
+        index = (index + 1) % len(offsets)
+        return ftl.write(offsets[index], geometry.page_bytes, rng)
+
+    benchmark(steady_write)
+    assert ftl.stats.write_amplification > 1.0
+
+
+def test_bench_ftl_read_path(benchmark):
+    """One mapped page read (the FTL's cheapest operation)."""
+    ftl = _steady_ftl()
+    geometry = ftl.geometry
+    rng = random.Random(5)
+
+    def mapped_read():
+        return ftl.read(0, geometry.page_bytes, rng)
+
+    benchmark(mapped_read)
+
+
+def test_bench_precondition_1gib(benchmark):
+    """Whole-device preconditioning of the 1 GiB registry geometry.
+
+    This is the per-stack cost every ``ssd-ftl-steady`` cell pays, so it is
+    the number to watch as the FTL grows features.
+    """
+
+    def precondition():
+        ftl = FlashTranslationLayer(default_flash_geometry(1 * GiB))
+        return precondition_ssd(ftl)
+
+    report = benchmark.pedantic(precondition, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["reached_steady"] = bool(report.reached_steady)
+    benchmark.extra_info["final_write_amplification"] = report.final_write_amplification
+    assert report.final_write_amplification > 1.0

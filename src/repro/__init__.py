@@ -14,7 +14,8 @@ Python library:
   axes, tidy :class:`~repro.core.frame.ResultFrame` results) that every
   legacy harness now shims onto.
 * :mod:`repro.storage` -- the simulated storage substrate (virtual clock,
-  disk/SSD models, page cache, readahead, block layer).
+  disk/SSD models including the stateful page-mapped FTL with garbage
+  collection and TRIM, page cache, readahead, block layer).
 * :mod:`repro.fs` -- behavioural Ext2/Ext3/XFS models and the VFS gluing the
   stack together.
 * :mod:`repro.workloads` -- the workload model (flowops, filesets), micro
@@ -78,7 +79,15 @@ from repro.aging import (
     snapshot_stack,
 )
 from repro.fs import build_stack, StorageStack
-from repro.storage import paper_testbed, scaled_testbed, TestbedConfig
+from repro.storage import (
+    FlashGeometry,
+    FlashTranslationLayer,
+    TestbedConfig,
+    paper_testbed,
+    precondition_ssd,
+    scaled_testbed,
+    ssd_ftl_testbed,
+)
 from repro.workloads import (
     WorkloadEngine,
     WorkloadSpec,
@@ -88,7 +97,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Experiment",
@@ -131,7 +140,11 @@ __all__ = [
     "StorageStack",
     "paper_testbed",
     "scaled_testbed",
+    "ssd_ftl_testbed",
     "TestbedConfig",
+    "FlashGeometry",
+    "FlashTranslationLayer",
+    "precondition_ssd",
     "WorkloadEngine",
     "WorkloadSpec",
     "random_read_workload",

@@ -15,6 +15,12 @@ axis:
   state, so aged states are reproducible, shareable artifacts whose
   fingerprint joins the result-cache key;
 * :mod:`repro.aging.experiment` -- the aged-vs-fresh comparison experiment.
+
+Device state is part of stack state: snapshots of stacks on the stateful
+``ssd-ftl`` device capture and restore the FTL mapping bit-identically, and
+:func:`~repro.storage.flash.precondition_ssd` (re-exported here as the
+device-level ager) manufactures steady-state SSDs the same way the engines
+manufacture aged file systems.
 """
 
 from repro.aging.engines import (
@@ -43,8 +49,11 @@ from repro.aging.snapshot import (
     snapshot_stack,
     snapshot_stack_factory,
 )
+from repro.storage.flash import PreconditionReport, precondition_ssd
 
 __all__ = [
+    "PreconditionReport",
+    "precondition_ssd",
     "AgingConfig",
     "AgingResult",
     "ChurnAger",

@@ -191,6 +191,12 @@ def snapshot_stack(stack: StorageStack) -> StateSnapshot:
             "dirty": [list(key) for key in dirty],
         },
     }
+    # Stateful device models (the FTL SSD) contribute their own section; the
+    # key is *omitted* for stateless devices so snapshots taken on the
+    # existing device kinds keep their exact fingerprints.
+    export_device = getattr(stack.device.model, "export_state", None)
+    if callable(export_device):
+        data["device"] = export_device()
     return StateSnapshot(data=data, fingerprint=_fingerprint(data))
 
 
@@ -275,6 +281,18 @@ def restore_stack(
         resident=[(int(ino), int(page)) for ino, page in data["cache"]["resident"]],
         dirty=[(int(ino), int(page)) for ino, page in data["cache"]["dirty"]],
     )
+
+    # --- device state (stateful models only; see snapshot_stack)
+    if "device" in data:
+        restore_device = getattr(stack.device.model, "restore_state", None)
+        if not callable(restore_device):
+            raise ValueError(
+                f"snapshot carries device state but the target device "
+                f"({type(stack.device.model).__name__}) cannot restore it; "
+                f"restore onto a testbed with the snapshot's device kind "
+                f"({snapshot.testbed.device_kind!r})"
+            )
+        restore_device(data["device"])
 
     # --- clock, device backlog, randomness
     stack.clock.advance(float(data["clock_ns"]) - stack.clock.now_ns)

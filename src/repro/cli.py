@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.experiment import Experiment, ParameterGrid
@@ -54,10 +55,18 @@ from repro.experiments import (
     run_figure2,
     run_figure3,
     run_figure4,
+    run_fresh_vs_steady,
     run_table1,
     run_transition_zoom,
 )
-from repro.storage.config import paper_testbed, scaled_testbed
+from repro.storage.config import DEFAULT_DEVICE_KINDS, paper_testbed, scaled_testbed
+from repro.storage.device import SCHEDULER_REGISTRY
+
+#: CLI choices derived from the registries, never hardcoded: a newly
+#: registered device or scheduler kind appears in fsbench-rocket (flags and
+#: ``list`` output) automatically.
+DEVICE_CHOICES = DEFAULT_DEVICE_KINDS
+SCHEDULER_CHOICES = tuple(SCHEDULER_REGISTRY)
 
 
 def _nonnegative_int(value: str) -> int:
@@ -268,6 +277,18 @@ def _build_parser() -> argparse.ArgumentParser:
     for sub in (suite, survey):
         sub.add_argument("--fs", action="append", choices=DEFAULT_FS_TYPES)
         sub.add_argument(
+            "--device",
+            default=None,
+            choices=DEVICE_CHOICES,
+            help="device model kind (choices come from DEVICE_REGISTRY; default: the testbed's hdd)",
+        )
+        sub.add_argument(
+            "--scheduler",
+            default=None,
+            choices=SCHEDULER_CHOICES,
+            help="block-layer I/O scheduler (choices come from SCHEDULER_REGISTRY)",
+        )
+        sub.add_argument(
             "--quick", action="store_true", help="smaller filesets and fewer repetitions"
         )
         sub.add_argument(
@@ -301,6 +322,40 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="start every repetition from this aged state snapshot (see the 'age' command)",
         )
+
+    ssd_steady = subparsers.add_parser(
+        "ssd-steady",
+        help="measure fresh-out-of-box vs preconditioned (steady-state) SSD divergence",
+    )
+    ssd_steady.add_argument("--fs", default="ext4", choices=DEFAULT_FS_TYPES)
+    ssd_steady.add_argument(
+        "--workload",
+        default="postmark",
+        help="workload registry name to measure on both device states",
+    )
+    ssd_steady.add_argument(
+        "--quick", action="store_true", help="shorter protocol and fewer repetitions"
+    )
+    ssd_steady.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125)",
+    )
+    ssd_steady.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the repetition fan-out (0 = one per CPU; default 1, serial)",
+    )
+    ssd_steady.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist measured cells here and skip them on re-runs (default: no cache)",
+    )
 
     age = subparsers.add_parser(
         "age",
@@ -549,6 +604,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "age":
         return _run_age(args)
+    if args.command == "ssd-steady":
+        testbed = (
+            scaled_testbed(args.scaled_testbed)
+            if args.scaled_testbed is not None
+            else paper_testbed()
+        )
+        try:
+            result = run_fresh_vs_steady(
+                fs_type=args.fs,
+                workload=args.workload,
+                testbed=testbed,
+                quick=args.quick,
+                n_workers=args.workers,
+                cache_dir=args.cache_dir,
+            )
+        except ValueError as error:
+            # Unknown workload names are usage errors, not tracebacks.
+            print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0
     if args.command in ("suite", "survey"):
         fs_types = tuple(args.fs) if args.fs else DEFAULT_FS_TYPES
         testbed = (
@@ -556,6 +632,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             if args.scaled_testbed is not None
             else paper_testbed()
         )
+        if args.device is not None:
+            testbed = replace(testbed, device_kind=args.device)
+        if args.scheduler is not None:
+            testbed = replace(testbed, io_scheduler=args.scheduler)
+        testbed.validate()
         cache_dir = None if args.no_cache else args.cache_dir
         if args.snapshot is not None:
             # Validate the snapshot up front so a bad path or a file-system

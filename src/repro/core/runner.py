@@ -293,6 +293,26 @@ class BenchmarkRunner:
             if complete_histograms >= 1:
                 recorder.histogram_timeline.truncate(complete_histograms)
 
+        environment = {
+            "page_cache_bytes": float(effective_cache),
+            "cpu_speed_factor": cpu_factor,
+        }
+        # Stateful devices (the FTL SSD) report their measured-window flash
+        # telemetry; the keys are absent for stateless devices so existing
+        # results (and cached entries) keep their exact payloads.
+        if callable(getattr(stack.device.model, "export_state", None)):
+            model_stats = stack.device.model.stats
+            environment.update(
+                {
+                    "device_write_amplification": model_stats.write_amplification,
+                    "device_pages_programmed": float(model_stats.pages_programmed),
+                    "device_pages_moved": float(model_stats.pages_moved),
+                    "device_erases": float(model_stats.erases),
+                    "device_gc_time_ns": model_stats.gc_time_ns,
+                    "device_discards": float(model_stats.discards),
+                }
+            )
+
         return RunResult(
             workload_name=spec.name,
             fs_name=stack.fs_name,
@@ -311,10 +331,7 @@ class BenchmarkRunner:
             device_writes=stack.device.stats.write_requests,
             bytes_read=stack.vfs.stats.bytes_read,
             bytes_written=stack.vfs.stats.bytes_written,
-            environment={
-                "page_cache_bytes": float(effective_cache),
-                "cpu_speed_factor": cpu_factor,
-            },
+            environment=environment,
         )
 
     # ------------------------------------------------------------- internals

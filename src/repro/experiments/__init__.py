@@ -22,6 +22,7 @@ from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.ssd_steady import FreshVsSteadyResult, run_fresh_vs_steady
 from repro.experiments.zoom import TransitionZoomResult, run_transition_zoom
 from repro.experiments.table1 import Table1Result, run_table1
 
@@ -40,6 +41,7 @@ def _registry():
         "table1": (run_table1, "the benchmark-usage survey (add --measured to execute it)"),
         "zoom": (run_transition_zoom, "bisect the memory-to-disk transition region"),
         "aged-vs-fresh": (run_aged_vs_fresh, "same benchmark on fresh vs realistically aged state"),
+        "ssd-steady": (run_fresh_vs_steady, "same benchmark on fresh vs preconditioned (steady-state) SSD"),
         "suite": (NanoBenchmarkSuite, "the multi-dimensional nano-benchmark suite"),
         "survey": (MeasuredSurvey, "measured counterpart of Table 1 across dimensions"),
     }
@@ -80,4 +82,6 @@ __all__ = [
     "run_transition_zoom",
     "Table1Result",
     "run_table1",
+    "FreshVsSteadyResult",
+    "run_fresh_vs_steady",
 ]

@@ -1,0 +1,178 @@
+"""Fresh-out-of-box vs steady-state SSD: the device-state scenario axis.
+
+SSD benchmarking folklore (and every serious methodology document since)
+says: never report numbers from a fresh drive.  A fresh-out-of-box SSD has
+its whole over-provisioned pool free, so writes land at raw NAND program
+speed; once the device has been filled and churned, every host write drags
+garbage collection behind it.  This is the paper's hidden-state argument
+pushed one layer below the file system -- same machine, same file system,
+same workload, different *device state*, different results.
+
+:func:`run_fresh_vs_steady` measures the divergence as a standard
+two-valued ``device`` axis (``ssd-ftl-fresh`` vs ``ssd-ftl-steady``) on the
+declarative :class:`~repro.core.experiment.Experiment` grid -- so it fans
+out, caches and reproduces exactly like every other experiment.  The steady
+device is manufactured deterministically by
+:func:`~repro.storage.flash.precondition_ssd`, which itself reuses the
+repository's steady-state detector to decide when the churned device's write
+amplification has stabilised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import fmean
+from typing import Dict, Optional
+
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.frame import ResultFrame
+from repro.core.report import format_table
+from repro.core.results import RepetitionSet
+from repro.core.runner import BenchmarkConfig, WarmupMode
+from repro.storage.config import TestbedConfig, paper_testbed
+
+
+def default_ssd_steady_config(quick: bool = False) -> BenchmarkConfig:
+    """Cold-cache, warmup-free protocol so device behaviour stays visible."""
+    return BenchmarkConfig(
+        duration_s=3.0 if quick else 10.0,
+        repetitions=2 if quick else 5,
+        warmup_mode=WarmupMode.NONE,
+        cold_cache=True,
+    )
+
+
+@dataclass
+class FreshVsSteadyResult:
+    """Measurements of one workload on fresh and preconditioned SSD state."""
+
+    fs_type: str
+    workload_name: str
+    testbed: TestbedConfig
+    fresh: RepetitionSet
+    steady: RepetitionSet
+    frame: ResultFrame
+
+    @property
+    def slowdown_factor(self) -> float:
+        """Mean fresh throughput over mean steady throughput (>1 = state hurts)."""
+        steady_mean = self.steady.throughput_summary().mean
+        if steady_mean <= 0:
+            return float("inf")
+        return self.fresh.throughput_summary().mean / steady_mean
+
+    def _environment_mean(self, repetitions: RepetitionSet, key: str) -> float:
+        values = [run.environment.get(key, 0.0) for run in repetitions.runs]
+        return fmean(values) if values else 0.0
+
+    @property
+    def steady_write_amplification(self) -> float:
+        """Mean measured-window write amplification on the steady device."""
+        return self._environment_mean(self.steady, "device_write_amplification")
+
+    @property
+    def fresh_write_amplification(self) -> float:
+        """Mean measured-window write amplification on the fresh device."""
+        return self._environment_mean(self.fresh, "device_write_amplification")
+
+    def checks(self) -> Dict[str, bool]:
+        """The experiment's qualitative claims against the measured data."""
+        return {
+            "steady_write_amplification_above_1": self.steady_write_amplification > 1.0,
+            "device_state_changes_throughput": self.slowdown_factor > 1.02
+            or self.slowdown_factor < 0.98,
+            "steady_gc_visible": self._environment_mean(self.steady, "device_gc_time_ns")
+            > self._environment_mean(self.fresh, "device_gc_time_ns"),
+        }
+
+    def render(self) -> str:
+        """Side-by-side report with flash telemetry and the qualitative checks."""
+        fresh = self.fresh.throughput_summary()
+        steady = self.steady.throughput_summary()
+        rows = [
+            [
+                "fresh",
+                f"{fresh.mean:.0f} +/-{fresh.relative_stddev_percent:.0f}%",
+                f"{self.fresh_write_amplification:.2f}",
+                f"{self._environment_mean(self.fresh, 'device_erases'):.0f}",
+                f"{self._environment_mean(self.fresh, 'device_gc_time_ns') / 1e6:.1f}",
+            ],
+            [
+                "steady",
+                f"{steady.mean:.0f} +/-{steady.relative_stddev_percent:.0f}%",
+                f"{self.steady_write_amplification:.2f}",
+                f"{self._environment_mean(self.steady, 'device_erases'):.0f}",
+                f"{self._environment_mean(self.steady, 'device_gc_time_ns') / 1e6:.1f}",
+            ],
+        ]
+        lines = [
+            "Fresh vs steady-state SSD",
+            "=========================",
+            f"workload: {self.workload_name} on {self.fs_type} "
+            f"({self.testbed.describe()})",
+            "",
+            format_table(
+                ["device state", "ops/s", "write amp", "erases", "GC ms"], rows
+            ),
+            "",
+            f"fresh/steady throughput ratio: {self.slowdown_factor:.2f}x",
+        ]
+        for name, passed in self.checks().items():
+            lines.append(f"[{'PASS' if passed else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+def run_fresh_vs_steady(
+    fs_type: str = "ext4",
+    workload: str = "postmark",
+    testbed: Optional[TestbedConfig] = None,
+    config: Optional[BenchmarkConfig] = None,
+    quick: bool = False,
+    n_workers: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> FreshVsSteadyResult:
+    """Measure one workload on a fresh vs a preconditioned ``ssd-ftl`` device.
+
+    Parameters
+    ----------
+    fs_type, workload:
+        File system (``FS_REGISTRY``) and workload (``WORKLOAD_REGISTRY``
+        name, or any object the experiment's workload axis accepts).
+    testbed, config:
+        Machine and protocol; default to the paper testbed and
+        :func:`default_ssd_steady_config`.  The testbed's own device kind is
+        irrelevant -- the ``device`` axis replaces it per cell.
+    quick:
+        Shorter protocol for CI and tests.
+    n_workers, cache_dir:
+        Parallel fan-out and persistent result cache, as everywhere else;
+        the device kind is part of the testbed and therefore of the cache
+        key, so fresh and steady cells never collide.
+    """
+    testbed = testbed if testbed is not None else paper_testbed()
+    config = config if config is not None else default_ssd_steady_config(quick)
+
+    outcome = Experiment(
+        grid=ParameterGrid.of(
+            fs=[fs_type],
+            workload=[workload],
+            device=["ssd-ftl-fresh", "ssd-ftl-steady"],
+        ),
+        name=f"ssd-fresh-vs-steady-{fs_type}",
+        config=config,
+        testbed=testbed,
+        n_workers=n_workers,
+        cache_dir=cache_dir,
+    ).run()
+
+    fresh = outcome.result_for(device="ssd-ftl-fresh")
+    steady = outcome.result_for(device="ssd-ftl-steady")
+    workload_name = outcome.cells[0].axes.get("workload", str(workload))
+    return FreshVsSteadyResult(
+        fs_type=fs_type,
+        workload_name=str(workload_name),
+        testbed=testbed,
+        fresh=fresh,
+        steady=steady,
+        frame=outcome.frame,
+    )

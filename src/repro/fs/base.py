@@ -254,6 +254,7 @@ class FileSystemStats:
     mkdirs: int = 0
     rmdirs: int = 0
     renames: int = 0
+    truncates: int = 0
     lookups: int = 0
     block_allocations: int = 0
     blocks_allocated: int = 0
@@ -292,6 +293,12 @@ class OperationCost:
         and inserts it afterwards.  This is how metadata caching (and the
         paper's observation that meta-data benchmarks silently become caching
         benchmarks) is modelled.
+    discard_requests:
+        Discard (TRIM) requests for device extents the operation freed
+        (unlink, rmdir, truncate).  The file system always records them; the
+        VFS forwards them only when the device advertises discard support and
+        silently drops them otherwise -- exactly like the real block layer --
+        so devices without TRIM keep bit-identical behaviour.
     """
 
     cpu_ns: float = 0.0
@@ -299,6 +306,7 @@ class OperationCost:
     dirty_page_keys: List[Tuple[int, int]] = field(default_factory=list)
     cache_fill_keys: List[Tuple[int, int]] = field(default_factory=list)
     metadata_reads: List[Tuple[Tuple[int, int], IORequest]] = field(default_factory=list)
+    discard_requests: List[IORequest] = field(default_factory=list)
     #: Number of device cache flushes (write barriers) the operation requires.
     flushes: int = 0
 
@@ -310,6 +318,7 @@ class OperationCost:
             dirty_page_keys=self.dirty_page_keys + other.dirty_page_keys,
             cache_fill_keys=self.cache_fill_keys + other.cache_fill_keys,
             metadata_reads=self.metadata_reads + other.metadata_reads,
+            discard_requests=self.discard_requests + other.discard_requests,
             flushes=self.flushes + other.flushes,
         )
 
@@ -447,6 +456,16 @@ class FileSystem(ABC):
         self, inode: Inode, offset_bytes: int, nbytes: int, now_ns: float
     ) -> OperationCost:
         """Ensure blocks exist for ``[offset, offset+nbytes)`` (called on writes)."""
+
+    def truncate(self, path: str, size_bytes: int, now_ns: float) -> OperationCost:
+        """Shrink or extend a regular file to ``size_bytes``.
+
+        Shrinking frees the blocks beyond the new size (and records discards
+        for them); extending only grows the logical size (a hole, like
+        ``ftruncate``).  Concrete models implement this; the base raises so
+        minimal custom file systems remain constructible without it.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement truncate")
 
     @abstractmethod
     def map_read(self, inode: Inode, first_page: int, page_count: int) -> List[IORequest]:

@@ -167,6 +167,14 @@ class UnixFileSystemBase(FileSystem):
         """Allocator group index for a device block (used to key bitmap pages)."""
         return self.allocator.group_of_block(device_block)
 
+    def _discard_request(self, device_block: int, count: int) -> IORequest:
+        """A discard (TRIM) request covering a freed device-block run."""
+        return IORequest(
+            offset_bytes=device_block * self.block_size,
+            nbytes=count * self.block_size,
+            is_discard=True,
+        )
+
     def _goal_block_for(self, inode: Inode) -> int:
         """Allocation goal: keep a file near its directory's previous allocations."""
         if inode.extents:
@@ -267,6 +275,9 @@ class UnixFileSystemBase(FileSystem):
                 cost.dirty_page_keys.append(
                     (BITMAP_PSEUDO_INO, self.allocator_group_of(extent.device_block))
                 )
+                cost.discard_requests.append(
+                    self._discard_request(extent.device_block, extent.count)
+                )
             cost.cpu_ns += self._cpu(self._FREE_CALL_NS + self._EXTENT_MAP_NS * len(inode.extents))
             cost.dirty_page_keys.append(self._inode_table_key(inode.number))
             dirty_blocks.append(self._inode_table_block(inode.number))
@@ -291,11 +302,13 @@ class UnixFileSystemBase(FileSystem):
         del parent.entries[name]
         parent.nlink -= 1
         parent.mtime_ns = now_ns
+        cost = OperationCost(cpu_ns=self._cpu(self._DIRENT_REMOVE_NS + self._FREE_CALL_NS))
         for extent in inode.extents:
             self.allocator.free(extent.device_block, extent.count)
+            cost.discard_requests.append(
+                self._discard_request(extent.device_block, extent.count)
+            )
         del self._inodes[inode.number]
-
-        cost = OperationCost(cpu_ns=self._cpu(self._DIRENT_REMOVE_NS + self._FREE_CALL_NS))
         cost.dirty_page_keys.append(self._inode_table_key(parent.number))
         cost.dirty_page_keys.append(self._dir_block_key(parent, 0))
         cost = cost.merge(
@@ -403,6 +416,39 @@ class UnixFileSystemBase(FileSystem):
         if new_size > inode.size_bytes:
             inode.size_bytes = new_size
         inode.mtime_ns = now_ns
+        return cost
+
+    def truncate(self, path: str, size_bytes: int, now_ns: float) -> OperationCost:
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        inode = self.resolve(path)
+        if not inode.is_regular:
+            raise IsADirectoryError_(path)
+
+        cost = OperationCost(cpu_ns=self._cpu(self._FREE_CALL_NS))
+        keep_blocks = -(-size_bytes // self.block_size)
+        freed = inode.truncate_extents(keep_blocks)
+        freed_blocks = 0
+        for extent in freed:
+            self.allocator.free(extent.device_block, extent.count)
+            freed_blocks += extent.count
+            cost.dirty_page_keys.append(
+                (BITMAP_PSEUDO_INO, self.allocator_group_of(extent.device_block))
+            )
+            cost.discard_requests.append(
+                self._discard_request(extent.device_block, extent.count)
+            )
+        cost.cpu_ns += self._cpu(self._EXTENT_MAP_NS * len(freed))
+        self.stats.blocks_freed += freed_blocks
+
+        inode.size_bytes = size_bytes
+        inode.mtime_ns = now_ns
+        inode.ctime_ns = now_ns
+        cost.dirty_page_keys.append(self._inode_table_key(inode.number))
+        cost = cost.merge(
+            self._journal_transaction([self._inode_table_block(inode.number)])
+        )
+        self.stats.truncates += 1
         return cost
 
     def map_read(self, inode: Inode, first_page: int, page_count: int) -> List[IORequest]:
@@ -544,4 +590,21 @@ class DelayedAllocationMixin:
         cost = super().unlink(path, now_ns)
         if inode.nlink <= 0:
             self._delalloc_reservations.pop(inode.number, None)
+        return cost
+
+    def truncate(self, path: str, size_bytes: int, now_ns: float) -> OperationCost:
+        # Shrinking trims the reservation before the extents: bytes that were
+        # only ever reserved (never allocated) vanish for free, and the
+        # reservation can never exceed the part of the file beyond the
+        # mapped blocks.
+        inode = self.resolve(path)
+        cost = super().truncate(path, size_bytes, now_ns)
+        reserved = self._delalloc_reservations.get(inode.number)
+        if reserved is not None:
+            mapped_bytes = inode.blocks_allocated() * self.block_size
+            new_reserved = min(reserved, max(0, size_bytes - mapped_bytes))
+            if new_reserved > 0:
+                self._delalloc_reservations[inode.number] = new_reserved
+            else:
+                self._delalloc_reservations.pop(inode.number, None)
         return cost

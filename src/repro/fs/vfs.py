@@ -61,12 +61,17 @@ class VfsStats:
     bytes_written: int = 0
     creates: int = 0
     unlinks: int = 0
+    truncates: int = 0
     opens: int = 0
     stats_calls: int = 0
     fsyncs: int = 0
     readahead_pages: int = 0
     writeback_pages: int = 0
     throttle_events: int = 0
+    #: Discard requests issued to the device (0 when it lacks TRIM support).
+    discards_issued: int = 0
+    #: Discard requests dropped because the device does not support TRIM.
+    discards_dropped: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -468,6 +473,16 @@ class VFS:
                     latency += self._writeback_keys([victim], synchronous=True)
         if cost.device_requests:
             latency += self._device_wait_and_service(list(cost.device_requests))
+        if cost.discard_requests:
+            # Like the real block layer: discards reach the device only when
+            # it advertises TRIM support; everything else drops them before
+            # any accounting, so non-TRIM devices behave bit-identically
+            # whether or not the file system issues discards.
+            if self.device.supports_discard:
+                self.stats.discards_issued += len(cost.discard_requests)
+                latency += self._device_wait_and_service(list(cost.discard_requests))
+            else:
+                self.stats.discards_dropped += len(cost.discard_requests)
         for _ in range(cost.flushes):
             latency += self.device.flush(self.rng)
         return latency
@@ -500,6 +515,26 @@ class VFS:
         cost = self.fs.unlink(path, self.clock.now_ns)
         latency += self._apply_cost(cost)
         self.stats.unlinks += 1
+        self.clock.advance(latency)
+        return latency
+
+    def truncate(self, path: str, size_bytes: int) -> float:
+        """Truncate a file to ``size_bytes``; returns the latency charged.
+
+        Shrinking drops the now-out-of-range cached pages and (on devices
+        with TRIM support) discards the freed extents, keeping the FTL's
+        free-space knowledge in sync with the namespace.
+        """
+        latency = self._cpu_ns(self.cpu.syscall_overhead_ns)
+        latency += self._apply_cost(self.fs.lookup_cost(path))
+        inode = self.fs.resolve(path)
+        old_pages = self._file_pages(inode)
+        cost = self.fs.truncate(path, size_bytes, self.clock.now_ns)
+        keep_pages = -(-size_bytes // self.page_size)
+        for page in range(keep_pages, old_pages):
+            self.cache.invalidate((inode.number, page))
+        latency += self._apply_cost(cost)
+        self.stats.truncates += 1
         self.clock.advance(latency)
         return latency
 

@@ -7,6 +7,9 @@ identifies as dominating benchmark results:
   latency in the framework is charged against.
 * :mod:`repro.storage.disk` -- mechanical disk and SSD device models that turn
   a block request into nanoseconds of simulated time.
+* :mod:`repro.storage.flash` -- the stateful NAND model: a page-mapped flash
+  translation layer with garbage collection, wear counters, discard (TRIM)
+  support and deterministic steady-state preconditioning.
 * :mod:`repro.storage.device` -- the block layer: request queues and I/O
   schedulers in front of a device model.
 * :mod:`repro.storage.cache` -- the page cache with pluggable eviction
@@ -28,6 +31,15 @@ from repro.storage.config import (
     TestbedConfig,
     paper_testbed,
     scaled_testbed,
+    ssd_ftl_testbed,
+    ssd_testbed,
+)
+from repro.storage.flash import (
+    FlashGeometry,
+    FlashTranslationLayer,
+    PreconditionReport,
+    default_flash_geometry,
+    precondition_ssd,
 )
 from repro.storage.cache import (
     CachePolicy,
@@ -68,6 +80,13 @@ __all__ = [
     "TestbedConfig",
     "paper_testbed",
     "scaled_testbed",
+    "ssd_ftl_testbed",
+    "ssd_testbed",
+    "FlashGeometry",
+    "FlashTranslationLayer",
+    "PreconditionReport",
+    "default_flash_geometry",
+    "precondition_ssd",
     "CachePolicy",
     "CacheStats",
     "PageCache",

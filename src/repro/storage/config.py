@@ -25,18 +25,69 @@ from repro.storage.disk import (
     RamDisk,
     SolidStateDisk,
 )
+from repro.storage.flash import (
+    FlashTranslationLayer,
+    default_flash_geometry,
+    precondition_ssd,
+)
 
 MiB = 1024 * 1024
 GiB = 1024 * MiB
+
+
+def _flash_capacity(testbed: "TestbedConfig") -> int:
+    """Logical FTL capacity for a testbed: 8x RAM, clamped to [1, 4] GiB.
+
+    Tracking the machine keeps whole-device preconditioning cheap on the
+    shrunken testbeds the tests and ``--quick`` runs use, while the paper
+    testbed gets the full 4 GiB device.
+    """
+    return min(4 * GiB, max(1 * GiB, 8 * testbed.ram_bytes))
+
+
+def _ftl_fresh(testbed: "TestbedConfig") -> DeviceModel:
+    return FlashTranslationLayer(default_flash_geometry(_flash_capacity(testbed)))
+
+
+#: Memoised preconditioned FTL state per logical capacity.  Preconditioning
+#: is a pure function of (geometry, default arguments), so the first
+#: ``ssd-ftl-steady`` construction per capacity pays the fill+churn cost and
+#: every later one (each repetition of every steady cell) restores the same
+#: exported state -- bit-identical, at a fraction of the cost.  Per-process,
+#: so parallel workers each precondition once and stay deterministic.
+_STEADY_FTL_STATES: Dict[int, Dict] = {}
+
+
+def _ftl_steady(testbed: "TestbedConfig") -> DeviceModel:
+    capacity = _flash_capacity(testbed)
+    model = FlashTranslationLayer(default_flash_geometry(capacity))
+    state = _STEADY_FTL_STATES.get(capacity)
+    if state is None:
+        precondition_ssd(model)
+        _STEADY_FTL_STATES[capacity] = model.export_state()
+    else:
+        model.restore_state(state)
+    return model
+
 
 #: Registry of device-model factories by name, mirroring ``FS_REGISTRY``:
 #: the single name->factory resolver behind ``TestbedConfig.device_kind`` and
 #: the experiment grid's ``device`` axis.  Each factory receives the testbed
 #: so device sizing (e.g. the ramdisk's capacity) can track the machine.
+#:
+#: ``ssd`` is the *legacy* stateless SSD model, kept byte-for-byte compatible
+#: so existing cache keys stay valid; ``ssd-ftl`` is the stateful NAND model
+#: (page-mapped FTL, garbage collection, wear, discard support).
+#: ``ssd-ftl-fresh`` is an explicit alias of ``ssd-ftl`` and
+#: ``ssd-ftl-steady`` the same device preconditioned to steady state, so the
+#: fresh-vs-steady scenario family is a plain two-valued ``device`` axis.
 DEVICE_REGISTRY: Dict[str, Callable[["TestbedConfig"], DeviceModel]] = {
     "hdd": lambda testbed: MechanicalDisk(testbed.disk_geometry),
     "ssd": lambda testbed: SolidStateDisk(),
     "ramdisk": lambda testbed: RamDisk(capacity_bytes=max(4 * GiB, 8 * testbed.ram_bytes)),
+    "ssd-ftl": _ftl_fresh,
+    "ssd-ftl-fresh": _ftl_fresh,
+    "ssd-ftl-steady": _ftl_steady,
 }
 
 #: Every registered device kind, in registry order.
@@ -91,7 +142,9 @@ class TestbedConfig:
     page_size:
         Page size in bytes.
     device_kind:
-        ``"hdd"``, ``"ssd"`` or ``"ramdisk"``.
+        Any name registered in :data:`DEVICE_REGISTRY` (``"hdd"``,
+        ``"ssd"``, ``"ramdisk"``, ``"ssd-ftl"``, ``"ssd-ftl-fresh"``,
+        ``"ssd-ftl-steady"``, ...).
     disk_geometry:
         Geometry used when ``device_kind == "hdd"``.
     cache_policy:
@@ -209,9 +262,25 @@ def scaled_testbed(scale: float = 0.125, name: Optional[str] = None) -> TestbedC
 def ssd_testbed() -> TestbedConfig:
     """A modern-ish variant of the testbed with an SSD instead of the SATA disk.
 
-    Used by examples to show how the transition region (and therefore the
-    fragility) changes when the device latency gap narrows.
+    Uses the legacy stateless ``ssd`` model.  Used by examples to show how
+    the transition region (and therefore the fragility) changes when the
+    device latency gap narrows.
     """
     config = replace(paper_testbed(), name="ssd-testbed", device_kind="ssd")
+    config.validate()
+    return config
+
+
+def ssd_ftl_testbed(steady: bool = False) -> TestbedConfig:
+    """The paper testbed over the stateful FTL SSD model.
+
+    ``steady=True`` starts every stack from a deterministically
+    preconditioned device (see
+    :func:`repro.storage.flash.precondition_ssd`); the default is
+    fresh-out-of-box.  The two variants are the endpoints of the
+    ``device=ssd-ftl-fresh,ssd-ftl-steady`` experiment axis.
+    """
+    kind = "ssd-ftl-steady" if steady else "ssd-ftl-fresh"
+    config = replace(paper_testbed(), name=f"{kind}-testbed", device_kind=kind)
     config.validate()
     return config

@@ -28,6 +28,12 @@ class IORequest:
         Request length in bytes.
     is_write:
         Write when true, read otherwise.
+    is_discard:
+        Discard/TRIM when true: tells the device the range no longer holds
+        live data.  Mutually exclusive with ``is_write`` (a discard is its
+        own operation, not a kind of write).  Only devices whose model
+        advertises ``supports_discard`` ever see these; the VFS drops them
+        for everything else, exactly like the real block layer.
     priority:
         Smaller numbers are more urgent; only the deadline scheduler uses it
         (e.g. journal commits over background writeback).
@@ -36,6 +42,7 @@ class IORequest:
     offset_bytes: int
     nbytes: int
     is_write: bool = False
+    is_discard: bool = False
     priority: int = 0
 
     def __post_init__(self) -> None:
@@ -43,6 +50,8 @@ class IORequest:
             raise ValueError("offset_bytes must be non-negative")
         if self.nbytes <= 0:
             raise ValueError("nbytes must be positive")
+        if self.is_discard and self.is_write:
+            raise ValueError("a request is either a write or a discard, not both")
 
     @property
     def end_bytes(self) -> int:
@@ -79,12 +88,14 @@ class IOScheduler(ABC):
             if (
                 last is not None
                 and req.is_write == last.is_write
+                and req.is_discard == last.is_discard
                 and req.offset_bytes == last.end_bytes
             ):
                 merged[-1] = IORequest(
                     offset_bytes=last.offset_bytes,
                     nbytes=last.nbytes + req.nbytes,
                     is_write=last.is_write,
+                    is_discard=last.is_discard,
                     priority=min(last.priority, req.priority),
                 )
             else:
@@ -150,6 +161,7 @@ class BlockDeviceStats:
     requests: int = 0
     read_requests: int = 0
     write_requests: int = 0
+    discard_requests: int = 0
     merged_requests: int = 0
     batches: int = 0
     total_service_ns: float = 0.0
@@ -159,6 +171,7 @@ class BlockDeviceStats:
         self.requests = 0
         self.read_requests = 0
         self.write_requests = 0
+        self.discard_requests = 0
         self.merged_requests = 0
         self.batches = 0
         self.total_service_ns = 0.0
@@ -205,6 +218,26 @@ class BlockDevice:
         self.stats.total_service_ns += latency
         return latency
 
+    def discard(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Discard (TRIM) one extent; returns service time in ns.
+
+        A no-op (and unaccounted) when the model does not support discards,
+        so issuing discards unconditionally never changes the behaviour of
+        devices that cannot use them.
+        """
+        if not self.supports_discard:
+            return 0.0
+        latency = self.model.discard(offset_bytes, nbytes, rng)
+        self.stats.requests += 1
+        self.stats.discard_requests += 1
+        self.stats.total_service_ns += latency
+        return latency
+
+    @property
+    def supports_discard(self) -> bool:
+        """True when the underlying device model honours discard/TRIM."""
+        return bool(getattr(self.model, "supports_discard", False))
+
     def flush(self, rng: random.Random) -> float:
         """Issue a cache-flush/barrier if the model supports one."""
         flush = getattr(self.model, "flush_latency_ns", None)
@@ -239,7 +272,10 @@ class BlockDevice:
 
         total = 0.0
         for req in ordered:
-            if req.is_write:
+            if req.is_discard:
+                total += self.model.discard(req.offset_bytes, req.nbytes, rng)
+                self.stats.discard_requests += 1
+            elif req.is_write:
                 total += self.model.write(req.offset_bytes, req.nbytes, rng)
                 self.stats.write_requests += 1
             else:

@@ -19,10 +19,12 @@ because that statefulness is exactly what makes disk benchmarks fragile.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 from dataclasses import dataclass, field
 from abc import ABC, abstractmethod
+from typing import Optional
 
 from repro.storage.clock import NS_PER_MS, NS_PER_SEC
 
@@ -99,7 +101,12 @@ MAXTOR_7L250S0 = DiskGeometry(
 
 @dataclass
 class DeviceStats:
-    """Operation counters kept by every device model."""
+    """Operation counters kept by every device model.
+
+    The flash-specific counters (``discards`` through ``gc_time_ns``) stay
+    zero on devices without an FTL; they are part of the shared container so
+    any telemetry consumer can read one uniform surface.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -108,24 +115,51 @@ class DeviceStats:
     busy_time_ns: float = 0.0
     seeks: int = 0
     track_cache_hits: int = 0
+    #: TRIM/discard commands served and the logical bytes they invalidated.
+    discards: int = 0
+    bytes_discarded: int = 0
+    #: NAND page programs, split into host-induced and GC-relocation writes:
+    #: ``pages_programmed`` counts every program; ``pages_moved`` the subset
+    #: the garbage collector relocated.  Their ratio is write amplification.
+    pages_programmed: int = 0
+    pages_moved: int = 0
+    #: Block erases and garbage-collection activity.
+    erases: int = 0
+    gc_runs: int = 0
+    gc_time_ns: float = 0.0
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.reads = 0
-        self.writes = 0
-        self.bytes_read = 0
-        self.bytes_written = 0
-        self.busy_time_ns = 0.0
-        self.seeks = 0
-        self.track_cache_hits = 0
+        for field_ in dataclasses.fields(self):
+            setattr(self, field_.name, field_.default)
 
     def total_ops(self) -> int:
         """Total number of read and write operations."""
         return self.reads + self.writes
 
+    @property
+    def write_amplification(self) -> float:
+        """Physical page programs per host-induced page program (>= 1.0).
+
+        Returns 0.0 before any host write has reached the medium (no
+        meaningful ratio exists yet); stateless device models therefore
+        always report 0.0.
+        """
+        host_pages = self.pages_programmed - self.pages_moved
+        if host_pages <= 0:
+            return 0.0
+        return self.pages_programmed / host_pages
+
 
 class DeviceModel(ABC):
     """Interface shared by all device models."""
+
+    #: True when the device honours discard/TRIM commands.  The VFS drops
+    #: discard requests before they reach non-supporting devices (exactly
+    #: like a real block layer), so models that leave this False keep their
+    #: service-time behaviour bit-identical whether or not the file system
+    #: above them issues discards.
+    supports_discard: bool = False
 
     def __init__(self, capacity_bytes: int, sector_bytes: int = 512) -> None:
         if capacity_bytes <= 0:
@@ -163,6 +197,26 @@ class DeviceModel(ABC):
         self.stats.bytes_written += nbytes
         self.stats.busy_time_ns += latency
         return latency
+
+    def discard(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Account a discard/TRIM and return its service time in nanoseconds.
+
+        Devices that do not support discard serve it as a free no-op (the
+        block layer should not have sent it; swallowing it keeps the model
+        robust against callers that skip the capability check).
+        """
+        self._check_extent(offset_bytes, nbytes)
+        if not self.supports_discard:
+            return 0.0
+        latency = self.discard_latency_ns(offset_bytes, nbytes, rng)
+        self.stats.discards += 1
+        self.stats.bytes_discarded += nbytes
+        self.stats.busy_time_ns += latency
+        return latency
+
+    def discard_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        """Service time of a discard; models supporting discard override this."""
+        return 0.0
 
     def _check_extent(self, offset_bytes: int, nbytes: int) -> None:
         if offset_bytes < 0 or nbytes <= 0:
@@ -339,11 +393,31 @@ class MechanicalDisk(DeviceModel):
 
 
 class SolidStateDisk(DeviceModel):
-    """A simple NAND SSD model.
+    """A simple *stateless* NAND SSD model.
 
     Reads have a flat latency; writes are slower and occasionally incur a
     garbage-collection pause.  Large transfers are spread over ``channels``
     independent flash channels.
+
+    This is the legacy ``ssd`` device kind: garbage collection is a per-write
+    coin flip, so service time depends on operation *count*, never on device
+    occupancy, fragmentation or over-provisioning headroom.  The stateful
+    :class:`~repro.storage.flash.FlashTranslationLayer` (``ssd-ftl``) is the
+    model that makes SSD benchmarks exhibit the paper's hidden-state
+    fragility; this one stays registered so existing cache keys (and cached
+    results) remain valid.
+
+    Randomness caveat (``rng_seed``)
+    --------------------------------
+    By default the jitter and the GC coin draw from the *shared* stack rng
+    passed into each call, which means this device's service times depend on
+    how many random numbers every other component consumed before it -- a
+    CPU-jitter draw in the VFS shifts the GC coin of the next write.  Pass
+    ``rng_seed`` to give the device a private, seed-isolated random source:
+    service times then depend only on the device's own call sequence.  The
+    default stays ``None`` (shared rng) because the legacy ``ssd`` registry
+    entry must keep producing bit-identical results for its existing cache
+    entries.
     """
 
     def __init__(
@@ -356,6 +430,7 @@ class SolidStateDisk(DeviceModel):
         channel_mb_s: float = 180.0,
         gc_probability: float = 0.002,
         gc_pause_ms: float = 4.0,
+        rng_seed: Optional[int] = None,
     ) -> None:
         super().__init__(capacity_bytes, sector_bytes=page_bytes)
         if channels <= 0:
@@ -369,6 +444,11 @@ class SolidStateDisk(DeviceModel):
         self.channel_bytes_per_ns = channel_mb_s * 1024 * 1024 / NS_PER_SEC
         self.gc_probability = gc_probability
         self.gc_pause_ns = gc_pause_ms * NS_PER_MS
+        self.rng_seed = rng_seed
+        self._private_rng = random.Random(rng_seed) if rng_seed is not None else None
+
+    def _rng(self, shared: random.Random) -> random.Random:
+        return self._private_rng if self._private_rng is not None else shared
 
     def _transfer_ns(self, nbytes: int) -> float:
         pages = max(1, math.ceil(nbytes / self.page_bytes))
@@ -377,15 +457,21 @@ class SolidStateDisk(DeviceModel):
         return parallel_waves * per_page_transfer
 
     def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
-        jitter = rng.uniform(0.9, 1.15)
+        jitter = self._rng(rng).uniform(0.9, 1.15)
         return self.read_latency_ns_base * jitter + self._transfer_ns(nbytes)
 
     def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
+        rng = self._rng(rng)
         jitter = rng.uniform(0.9, 1.3)
         latency = self.write_latency_ns_base * jitter + self._transfer_ns(nbytes)
         if rng.random() < self.gc_probability:
             latency += self.gc_pause_ns
         return latency
+
+    def reset_state(self) -> None:
+        super().reset_state()
+        if self.rng_seed is not None:
+            self._private_rng = random.Random(self.rng_seed)
 
     def __repr__(self) -> str:
         gb = self.capacity_bytes / 10 ** 9

@@ -149,3 +149,70 @@ class TestParallelFlags:
         assert captured["quick"] is True
         assert captured["fs"] == ("xfs",)
         assert "survey-render" in capsys.readouterr().out
+
+
+class TestDeviceAndSchedulerFlags:
+    """--device/--scheduler choices come from the registries, never a hardcoded list."""
+
+    class _FakeSuite:
+        captured = {}
+
+        def __init__(self, testbed=None, quick=False, n_workers=1, cache_dir=None, snapshot_path=None):
+            type(self).captured = {"testbed": testbed}
+
+        def run(self, fs_types):
+            return {"fs": fs_types}
+
+    def test_choices_track_the_registries(self):
+        from repro.storage.config import DEVICE_REGISTRY
+        from repro.storage.device import SCHEDULER_REGISTRY
+
+        assert cli.DEVICE_CHOICES == tuple(DEVICE_REGISTRY)
+        assert cli.SCHEDULER_CHOICES == tuple(SCHEDULER_REGISTRY)
+        assert "ssd-ftl-steady" in cli.DEVICE_CHOICES
+
+    def test_suite_device_and_scheduler_reach_the_testbed(self, monkeypatch):
+        monkeypatch.setattr(cli, "NanoBenchmarkSuite", self._FakeSuite)
+        monkeypatch.setattr(cli, "suite_report", lambda result: "ok")
+        assert (
+            cli.main(
+                ["suite", "--quick", "--device", "ssd-ftl", "--scheduler", "deadline"]
+            )
+            == 0
+        )
+        testbed = self._FakeSuite.captured["testbed"]
+        assert testbed.device_kind == "ssd-ftl"
+        assert testbed.io_scheduler == "deadline"
+
+    def test_unregistered_device_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["suite", "--device", "floppy"])
+
+
+class TestSsdSteadyCommand:
+    def test_dispatch_and_render(self, monkeypatch, capsys):
+        captured = {}
+
+        class _StubResult:
+            def render(self):
+                return "ssd-steady-render"
+
+        def fake_run(fs_type, workload, testbed, quick, n_workers, cache_dir):
+            captured.update(
+                fs_type=fs_type, workload=workload, quick=quick, n_workers=n_workers
+            )
+            return _StubResult()
+
+        monkeypatch.setattr(cli, "run_fresh_vs_steady", fake_run)
+        assert cli.main(["ssd-steady", "--quick", "--fs", "ext2", "--workers", "2"]) == 0
+        assert captured == {
+            "fs_type": "ext2",
+            "workload": "postmark",
+            "quick": True,
+            "n_workers": 2,
+        }
+        assert "ssd-steady-render" in capsys.readouterr().out
+
+    def test_unknown_workload_is_a_usage_error(self, capsys):
+        assert cli.main(["ssd-steady", "--quick", "--workload", "no-such-workload"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -22,6 +22,7 @@ ALL_EXAMPLES = [
     "macro_personalities.py",
     "trace_replay_demo.py",
     "aging_demo.py",
+    "ssd_steady_state.py",
 ]
 
 
@@ -69,6 +70,14 @@ class TestFastExamplesRun:
         assert "Aged with churn" in output
         assert "fresh ext2" in output
         assert "aged  ext2" in output
+
+    def test_ssd_steady_state_runs_quick(self, capsys):
+        module = load_example("ssd_steady_state.py")
+        assert module.main(["--quick"]) == 0
+        output = capsys.readouterr().out
+        assert "ssd-ftl-fresh" in output
+        assert "ssd-ftl-steady" in output
+        assert "write amplification" in output
 
     def test_quickstart_runs_quick(self, capsys):
         module = load_example("quickstart.py")
