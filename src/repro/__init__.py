@@ -97,7 +97,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Experiment",

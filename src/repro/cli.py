@@ -56,6 +56,7 @@ from repro.experiments import (
     run_figure3,
     run_figure4,
     run_fresh_vs_steady,
+    run_scalability,
     run_table1,
     run_transition_zoom,
 )
@@ -83,6 +84,19 @@ def _testbed_fraction(value: str) -> float:
     if not (0 < number <= 1):
         raise argparse.ArgumentTypeError("must be a fraction in (0, 1]")
     return number
+
+
+def _client_counts(value: str) -> tuple:
+    """argparse type for --clients: comma-separated ints, at least two distinct."""
+    try:
+        counts = tuple(int(token) for token in value.split(",") if token.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError("must be comma-separated integers")
+    if any(count < 1 for count in counts):
+        raise argparse.ArgumentTypeError("client counts must be >= 1")
+    if len(set(counts)) < 2:
+        raise argparse.ArgumentTypeError("need at least two distinct client counts")
+    return counts
 
 
 def _parse_axis_value(axis: str, token: str):
@@ -357,6 +371,53 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist measured cells here and skip them on re-runs (default: no cache)",
     )
 
+    scalability = subparsers.add_parser(
+        "scalability",
+        help="sweep concurrent clients over fresh, aged and steady-SSD stacks",
+    )
+    scalability.add_argument("--fs", default="ext4", choices=DEFAULT_FS_TYPES)
+    scalability.add_argument(
+        "--workload",
+        default=None,
+        help="workload registry name (default: the built-in scale-mix personality)",
+    )
+    scalability.add_argument(
+        "--clients",
+        type=_client_counts,
+        default=(1, 2, 4),
+        metavar="N,N,...",
+        help="comma-separated client counts to sweep (default 1,2,4)",
+    )
+    scalability.add_argument(
+        "--quick", action="store_true", help="shorter protocol and CI-sized aging"
+    )
+    scalability.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125)",
+    )
+    scalability.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        metavar="N",
+        help="worker processes for the repetition fan-out (0 = one per CPU; default 1, serial)",
+    )
+    scalability.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist measured cells here and skip them on re-runs (default: no cache)",
+    )
+    scalability.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="reuse/write the aged snapshot here (default: a private temp directory)",
+    )
+
     age = subparsers.add_parser(
         "age",
         help="age a file system and save the state as a reproducible snapshot",
@@ -618,6 +679,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 quick=args.quick,
                 n_workers=args.workers,
                 cache_dir=args.cache_dir,
+            )
+        except ValueError as error:
+            # Unknown workload names are usage errors, not tracebacks.
+            print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+            return 2
+        print(result.render())
+        return 0
+    if args.command == "scalability":
+        testbed = (
+            scaled_testbed(args.scaled_testbed)
+            if args.scaled_testbed is not None
+            else paper_testbed()
+        )
+        try:
+            result = run_scalability(
+                fs_type=args.fs,
+                workload=args.workload,
+                clients=args.clients,
+                testbed=testbed,
+                quick=args.quick,
+                n_workers=args.workers,
+                cache_dir=args.cache_dir,
+                snapshot_dir=args.snapshot_dir,
             )
         except ValueError as error:
             # Unknown workload names are usage errors, not tracebacks.

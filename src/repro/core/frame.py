@@ -66,8 +66,13 @@ def run_metrics(run: RunResult) -> Dict[str, float]:
     one tidy row is emitted per entry.  Timelines and histograms stay on the
     :class:`~repro.core.results.RunResult` (the frame is for cross-cell
     analysis, not for replacing the rich containers).
+
+    Multi-client repetitions additionally report the cross-client summaries
+    (client count, minimum per-client throughput, mean and worst-case exact
+    percentiles); single-client runs emit exactly the legacy twelve metrics,
+    so existing frames, pivots and JSONL exports are unchanged.
     """
-    return {
+    metrics = {
         "throughput_ops_s": run.throughput_ops_s,
         "operations": run.operations,
         "measured_duration_s": run.measured_duration_s,
@@ -81,6 +86,11 @@ def run_metrics(run: RunResult) -> Dict[str, float]:
         "bytes_read": run.bytes_read,
         "bytes_written": run.bytes_written,
     }
+    if run.client_metrics:
+        from repro.core.concurrency import client_summary_metrics
+
+        metrics.update(client_summary_metrics(run.client_metrics))
+    return metrics
 
 
 def rows_for_run(axes: Mapping[str, Any], run: RunResult) -> List[Dict[str, Any]]:

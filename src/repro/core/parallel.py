@@ -113,17 +113,29 @@ def cache_key(
     keys do not depend on the aging feature at all.  (Bumping the format
     version -- as the v2 physics fixes did -- deliberately invalidates every
     older cache entry, fresh and aged alike.)
+
+    ``config.clients`` gets the same treatment as the snapshot axis: it is
+    lifted out of the canonical config dictionary and recorded as a
+    top-level ``clients`` entry only when greater than one, so every
+    ``clients=1`` key -- and with it every cache entry ever written --
+    stays byte-identical to the pre-concurrency era.
     """
+    config_payload = _canonical(replace(config, seed=0, repetitions=1))
+    clients = int(getattr(config, "clients", 1) or 1)
+    if isinstance(config_payload, dict):
+        config_payload.pop("clients", None)
     payload = {
         "cache_format": CACHE_FORMAT_VERSION,
         "fs_type": fs_type,
         "spec": _canonical(spec),
         "testbed": _canonical(testbed if testbed is not None else paper_testbed()),
-        "config": _canonical(replace(config, seed=0, repetitions=1)),
+        "config": config_payload,
         "seed": int(seed),
     }
     if snapshot_fingerprint is not None:
         payload["snapshot"] = str(snapshot_fingerprint)
+    if clients > 1:
+        payload["clients"] = clients
     encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 

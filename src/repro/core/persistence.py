@@ -57,8 +57,13 @@ def _histogram_timeline_to_dict(timeline: HistogramTimeline) -> Dict:
 
 
 def run_result_to_dict(run: RunResult) -> Dict:
-    """Serialise one :class:`RunResult` to a JSON-compatible dictionary."""
-    return {
+    """Serialise one :class:`RunResult` to a JSON-compatible dictionary.
+
+    ``client_metrics`` is written only when present (multi-client runs), so
+    every legacy single-client payload -- including each entry of the
+    parallel executor's result cache -- stays byte-identical.
+    """
+    payload = {
         "workload_name": run.workload_name,
         "fs_name": run.fs_name,
         "repetition": run.repetition,
@@ -82,6 +87,9 @@ def run_result_to_dict(run: RunResult) -> Dict:
         ),
         "raw_latencies_ns": list(run.raw_latencies_ns) if run.raw_latencies_ns is not None else None,
     }
+    if run.client_metrics is not None:
+        payload["client_metrics"] = [dict(row) for row in run.client_metrics]
+    return payload
 
 
 def repetition_set_to_dict(repetitions: RepetitionSet) -> Dict:
@@ -136,6 +144,7 @@ def run_result_from_dict(payload: Dict) -> RunResult:
     """Reconstruct a :class:`RunResult` from its dictionary form."""
     histogram_timeline = payload.get("histogram_timeline")
     raw = payload.get("raw_latencies_ns")
+    clients = payload.get("client_metrics")
     return RunResult(
         workload_name=payload["workload_name"],
         fs_name=payload["fs_name"],
@@ -157,6 +166,11 @@ def run_result_from_dict(payload: Dict) -> RunResult:
         bytes_read=int(payload["bytes_read"]),
         bytes_written=int(payload["bytes_written"]),
         environment={key: float(value) for key, value in payload["environment"].items()},
+        client_metrics=(
+            [{key: float(value) for key, value in row.items()} for row in clients]
+            if clients is not None
+            else None
+        ),
     )
 
 

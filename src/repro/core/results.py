@@ -50,6 +50,12 @@ class RunResult:
         Description of the perturbed environment for this repetition
         (effective cache bytes, CPU speed factor) -- the "noise" the runner
         injected to expose fragility.
+    client_metrics:
+        Per-client scalar metrics (operations, throughput, exact
+        p50/p95/p99 latency) when the repetition ran with concurrent
+        clients (see :mod:`repro.core.concurrency`); ``None`` on the legacy
+        single-client path, so existing results and cache entries keep
+        their exact payloads.
     """
 
     workload_name: str
@@ -70,6 +76,12 @@ class RunResult:
     bytes_read: int = 0
     bytes_written: int = 0
     environment: Dict[str, float] = field(default_factory=dict)
+    client_metrics: Optional[List[Dict[str, float]]] = None
+
+    @property
+    def clients(self) -> int:
+        """Number of concurrent client sessions this repetition ran with."""
+        return len(self.client_metrics) if self.client_metrics else 1
 
     @property
     def mean_latency_ns(self) -> float:

@@ -105,6 +105,13 @@ class BenchmarkConfig:
         the workload randomness.
     noise:
         Environmental perturbation injected per repetition.
+    clients:
+        Number of concurrent client sessions sharing the stack.  ``1`` (the
+        default) is the legacy serial path, bit-identical to every release
+        before the axis existed; ``>1`` interleaves hash-seeded copies of
+        the workload through the deterministic virtual-time event loop
+        (:mod:`repro.core.concurrency`) and reports per-client metrics on
+        the result.
     """
 
     duration_s: float = 20.0
@@ -119,6 +126,7 @@ class BenchmarkConfig:
     cold_cache: bool = True
     seed: int = 42
     noise: EnvironmentNoise = field(default_factory=EnvironmentNoise)
+    clients: int = 1
 
     def validate(self) -> None:
         """Raise ``ValueError`` for impossible configurations."""
@@ -134,6 +142,8 @@ class BenchmarkConfig:
             raise ValueError("warmup_s must be positive for DURATION warm-up")
         if self.max_warmup_s <= 0:
             raise ValueError("max_warmup_s must be positive")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
         self.noise.validate()
 
     def with_repetitions(self, repetitions: int) -> "BenchmarkConfig":
@@ -206,6 +216,18 @@ class _Recorder:
             self.raw.append(record.latency_ns)
 
 
+def _session_recorder(session, recorder: _Recorder):
+    """An ``on_op`` callback that feeds both the shared recorder and one
+    session's exact per-client sample list."""
+
+    def _record(record: OpRecord) -> None:
+        recorder(record)
+        session.operations += 1
+        session.latencies_ns.append(record.latency_ns)
+
+    return _record
+
+
 class BenchmarkRunner:
     """Runs a workload spec against a file system under the measurement protocol.
 
@@ -254,7 +276,14 @@ class BenchmarkRunner:
         return repetitions
 
     def run_once(self, spec: WorkloadSpec, repetition: int = 0) -> RunResult:
-        """Run a single repetition of ``spec`` and return its :class:`RunResult`."""
+        """Run a single repetition of ``spec`` and return its :class:`RunResult`.
+
+        ``config.clients > 1`` dispatches to the multi-client virtual-time
+        event loop; one client stays on this serial path, untouched, so the
+        legacy bit-identity guarantee is structural rather than hoped-for.
+        """
+        if self.config.clients > 1:
+            return self._run_once_concurrent(spec, repetition)
         config = self.config
         seed = config.seed + repetition
         noise_rng = random.Random(seed * 7919 + 13)
@@ -334,6 +363,98 @@ class BenchmarkRunner:
             environment=environment,
         )
 
+    def _run_once_concurrent(self, spec: WorkloadSpec, repetition: int) -> RunResult:
+        """One repetition with ``config.clients`` sessions contending on one stack.
+
+        Mirrors :meth:`run_once` stage for stage -- perturbed environment,
+        setup outside measured time, warm-up, measured window, truncation --
+        but drives the window through
+        :func:`repro.core.concurrency.run_window` and additionally collects
+        exact per-client latencies into ``RunResult.client_metrics``.
+        """
+        from repro.core.concurrency import build_sessions, client_metrics, run_window
+
+        config = self.config
+        seed = config.seed + repetition
+        noise_rng = random.Random(seed * 7919 + 13)
+
+        testbed, cpu_factor, effective_cache = self._perturbed_environment(noise_rng)
+        stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
+
+        sessions = build_sessions(stack, spec, base_seed=seed, clients=config.clients)
+        for session in sessions:
+            session.engine.setup()
+        if config.cold_cache:
+            stack.drop_caches()
+
+        warmup_start_ns = stack.clock.now_ns
+        self._warm_up_concurrent(stack, sessions)
+        warmup_duration_s = (stack.clock.now_ns - warmup_start_ns) / 1e9
+
+        origin_ns = stack.clock.now_ns
+        recorder = _Recorder(config, origin_ns)
+        for session in sessions:
+            session.engine.on_op = _session_recorder(session, recorder)
+        stack.reset_statistics()
+
+        duration = config.duration_s if config.duration_s > 0 else None
+        run_window(sessions, stack.clock, duration_s=duration, max_ops=config.max_ops)
+        for session in sessions:
+            session.engine.on_op = None
+
+        measured_duration_s = (stack.clock.now_ns - origin_ns) / 1e9
+        throughput = recorder.operations / measured_duration_s if measured_duration_s > 0 else 0.0
+
+        complete_intervals = int(measured_duration_s / config.interval_s)
+        if complete_intervals >= 1:
+            recorder.timeline.truncate(complete_intervals)
+        if recorder.histogram_timeline is not None and config.histogram_interval_s:
+            complete_histograms = int(measured_duration_s / config.histogram_interval_s)
+            if complete_histograms >= 1:
+                recorder.histogram_timeline.truncate(complete_histograms)
+
+        environment = {
+            "page_cache_bytes": float(effective_cache),
+            "cpu_speed_factor": cpu_factor,
+            "clients": float(config.clients),
+        }
+        if callable(getattr(stack.device.model, "export_state", None)):
+            model_stats = stack.device.model.stats
+            environment.update(
+                {
+                    "device_write_amplification": model_stats.write_amplification,
+                    "device_pages_programmed": float(model_stats.pages_programmed),
+                    "device_pages_moved": float(model_stats.pages_moved),
+                    "device_erases": float(model_stats.erases),
+                    "device_gc_time_ns": model_stats.gc_time_ns,
+                    "device_discards": float(model_stats.discards),
+                }
+            )
+
+        return RunResult(
+            workload_name=spec.name,
+            fs_name=stack.fs_name,
+            repetition=repetition,
+            seed=seed,
+            measured_duration_s=measured_duration_s,
+            warmup_duration_s=warmup_duration_s,
+            operations=recorder.operations,
+            throughput_ops_s=throughput,
+            histogram=recorder.histogram,
+            timeline=recorder.timeline,
+            histogram_timeline=recorder.histogram_timeline,
+            raw_latencies_ns=recorder.raw,
+            cache_hit_ratio=stack.cache.stats.hit_ratio,
+            device_reads=stack.device.stats.read_requests,
+            device_writes=stack.device.stats.write_requests,
+            bytes_read=stack.vfs.stats.bytes_read,
+            bytes_written=stack.vfs.stats.bytes_written,
+            environment=environment,
+            client_metrics=client_metrics(
+                [session.latencies_ns for session in sessions], measured_duration_s
+            ),
+        )
+
     # ------------------------------------------------------------- internals
     def _perturbed_environment(self, rng: random.Random):
         """Apply environmental noise to the testbed for one repetition."""
@@ -372,6 +493,38 @@ class BenchmarkRunner:
             engine.run(duration_s=chunk)
             interval_s = (stack.clock.now_ns - start_ns) / 1e9
             ops = engine.ops_executed - ops_before
+            elapsed += interval_s
+            if detector.observe(ops / interval_s if interval_s > 0 else 0.0):
+                return
+
+    def _warm_up_concurrent(self, stack: StorageStack, sessions) -> None:
+        """The warm-up protocol with every client participating.
+
+        PREWARM pre-reads each client's fileset in client order (stopping,
+        as ever, once the shared cache is full); DURATION and STEADY_STATE
+        run the interleaved event loop itself, so warm-up traffic contends
+        exactly like measured traffic will.
+        """
+        from repro.core.concurrency import run_window
+
+        config = self.config
+        mode = config.warmup_mode
+        if mode is WarmupMode.NONE:
+            return
+        if mode is WarmupMode.PREWARM:
+            for session in sessions:
+                self._prewarm_sequential(stack, session.engine)
+            return
+        if mode is WarmupMode.DURATION:
+            run_window(sessions, stack.clock, duration_s=config.warmup_s)
+            return
+        detector = SteadyStateDetector()
+        elapsed = 0.0
+        chunk = max(config.interval_s, 1.0)
+        while elapsed < config.max_warmup_s:
+            start_ns = stack.clock.now_ns
+            ops = run_window(sessions, stack.clock, duration_s=chunk)
+            interval_s = (stack.clock.now_ns - start_ns) / 1e9
             elapsed += interval_s
             if detector.observe(ops / interval_s if interval_s > 0 else 0.0):
                 return

@@ -22,6 +22,11 @@ from repro.experiments.figure1 import Figure1Result, run_figure1
 from repro.experiments.figure2 import Figure2Result, run_figure2
 from repro.experiments.figure3 import Figure3Result, run_figure3
 from repro.experiments.figure4 import Figure4Result, run_figure4
+from repro.experiments.scalability import (
+    ScalabilityResult,
+    run_scalability,
+    scale_mix_workload,
+)
 from repro.experiments.ssd_steady import FreshVsSteadyResult, run_fresh_vs_steady
 from repro.experiments.zoom import TransitionZoomResult, run_transition_zoom
 from repro.experiments.table1 import Table1Result, run_table1
@@ -42,6 +47,7 @@ def _registry():
         "zoom": (run_transition_zoom, "bisect the memory-to-disk transition region"),
         "aged-vs-fresh": (run_aged_vs_fresh, "same benchmark on fresh vs realistically aged state"),
         "ssd-steady": (run_fresh_vs_steady, "same benchmark on fresh vs preconditioned (steady-state) SSD"),
+        "scalability": (run_scalability, "throughput and tail latency vs concurrent clients on fresh/aged/steady-ssd stacks"),
         "suite": (NanoBenchmarkSuite, "the multi-dimensional nano-benchmark suite"),
         "survey": (MeasuredSurvey, "measured counterpart of Table 1 across dimensions"),
     }
@@ -84,4 +90,7 @@ __all__ = [
     "run_table1",
     "FreshVsSteadyResult",
     "run_fresh_vs_steady",
+    "ScalabilityResult",
+    "run_scalability",
+    "scale_mix_workload",
 ]

@@ -207,6 +207,7 @@ class WorkloadEngine:
         self._selector: Selector = UniformSelector()
         self.ops_executed = 0
         self._setup_done = False
+        self._step_cycle = None
 
     # ------------------------------------------------------------------ setup
     def setup(self) -> MaterializedFileset:
@@ -284,6 +285,33 @@ class WorkloadEngine:
             if deadline_ns is None and ops_limit is None:  # pragma: no cover - guarded above
                 break
         return executed
+
+    def _flowop_cycle(self):
+        """The endless (thread, flowop) dispatch sequence of :meth:`run`."""
+        while True:
+            for flowop in self.spec.flowops:
+                for _ in range(flowop.repeat):
+                    for thread in self._threads:
+                        yield thread, flowop
+
+    def step(self) -> None:
+        """Execute exactly one operation, advancing the engine's flowop cycle.
+
+        Single-op stepping is what lets the virtual-time event loop
+        (:mod:`repro.core.concurrency`) interleave several engines on one
+        stack: each call runs the next ``(thread, flowop)`` pair in exactly
+        the order :meth:`run` would, so a stepped engine and a running
+        engine visit identical operation sequences.  An engine belongs to
+        one driver: do not mix :meth:`step` and :meth:`run` on the same
+        instance (each keeps its own position in the flowop cycle).
+        """
+        if not self._setup_done:
+            self.setup()
+        if self._step_cycle is None:
+            self._step_cycle = self._flowop_cycle()
+        thread, flowop = next(self._step_cycle)
+        self._execute_one(thread, flowop)
+        self.ops_executed += 1
 
     def _execute_one(self, thread: _ThreadState, flowop: FlowOp) -> None:
         vfs = self.stack.vfs

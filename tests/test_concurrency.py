@@ -1,0 +1,389 @@
+"""Tests for the multi-client virtual-time concurrency subsystem.
+
+Four load-bearing guarantees:
+
+* **Determinism** -- multi-client interleaving is a pure function of
+  (stack, spec, seed): same inputs give bit-identical serialized results,
+  serial and parallel execution agree, and every registry workload drives
+  identical op streams on identical stacks.
+* **Backward compatibility** -- ``clients=1`` is the legacy path: cache
+  keys, serialized payloads and measured numbers are byte-identical to the
+  pre-concurrency repository (pinned against golden hashes).
+* **Sensitivity** -- interleaving genuinely contends: adding clients
+  changes device behaviour and degrades per-client throughput, so the
+  event loop is not just N serial runs glued together.
+* **Arithmetic** -- the per-client percentile/throughput math matches
+  hand-computed fixtures.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core.concurrency import (
+    build_sessions,
+    client_metrics,
+    client_summary_metrics,
+    derive_client_seed,
+    nearest_rank_percentile,
+    run_window,
+)
+from repro.core.parallel import WorkUnit, cache_key
+from repro.core.persistence import (
+    run_result_from_dict,
+    run_result_to_dict,
+    save_run_result,
+)
+from repro.core.runner import BenchmarkConfig, WarmupMode, run_single_repetition
+from repro.fs.stack import build_stack
+from repro.storage.config import scaled_testbed
+from repro.workloads.micro import random_read_workload
+from repro.workloads.registry import WORKLOAD_REGISTRY, postmark_workload
+
+MiB = 1024 * 1024
+
+# ----------------------------------------------------------------- goldens
+# Pinned against the pre-concurrency repository (PR 5 HEAD): these keys and
+# payload hashes must never change, or every cache entry and archived result
+# silently diverges from its identity.
+GOLDEN_KEY_EXT4_POSTMARK = "e84a62e530984408d1f1a1e58160ca91292d5bcd0392fdbf0e652d2c5f14789f"
+GOLDEN_KEY_EXT2_RANDREAD = "5509b8bd08f29f5b433de1fee92dce12548f4c2eb3a0d385be7d471b3333f837"
+GOLDEN_KEY_XFS_SNAPSHOT = "f264fd773d4a6c5f27876bd53b672ae40abc008ac768a4c743b34af13044edb0"
+GOLDEN_KEY_EXT4_POSTMARK_C4 = "d1ca054a0481f30582b5106cb6b381040102a9757fcd8d2a930597732bfa1c92"
+GOLDEN_RUN_SHA256 = "bfa10d8b6cb1e93e3e6f295f1fd5e3a6510048f5614aa9cce65a71a02f238140"
+
+
+def small_spec(file_bytes: int = 4 * MiB):
+    """A fast multi-client workload: random reads of one private file."""
+    return random_read_workload(file_bytes, iosize=16 * 1024)
+
+
+def concurrency_config(**overrides):
+    values = dict(
+        duration_s=0.5,
+        repetitions=1,
+        warmup_mode=WarmupMode.NONE,
+        cold_cache=True,
+    )
+    values.update(overrides)
+    return BenchmarkConfig(**values)
+
+
+# ------------------------------------------------------------ seed derivation
+class TestClientSeeds:
+    def test_derived_seeds_are_pinned(self):
+        # The hash is part of the determinism contract: changing it changes
+        # every multi-client measurement ever taken.
+        assert derive_client_seed(42, 0) == 812576017709259521
+        assert derive_client_seed(42, 1) == 2778896940184265588
+        assert derive_client_seed(42, 2) == 5233274272677491660
+
+    def test_no_collision_with_repetition_arithmetic(self):
+        # The runner uses seed + repetition; additive client seeds would make
+        # client 1 of repetition 0 replay client 0 of repetition 1.
+        assert derive_client_seed(42, 1) != derive_client_seed(43, 0)
+
+    def test_seeds_fit_in_63_bits(self):
+        for index in range(64):
+            seed = derive_client_seed(7, index)
+            assert 0 <= seed < 2**63
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            derive_client_seed(42, -1)
+
+    def test_streams_pairwise_independent(self):
+        # No 5-draw subsequence of any client's first 1000 draws appears in
+        # any other client's first 1000 draws: the streams are not shifted
+        # copies of each other (which seed+i correlation could produce).
+        streams = []
+        for index in range(6):
+            rng = random.Random(derive_client_seed(42, index))
+            draws = [round(rng.random(), 12) for _ in range(1000)]
+            streams.append({tuple(draws[i : i + 5]) for i in range(len(draws) - 4)})
+        for i in range(len(streams)):
+            for j in range(i + 1, len(streams)):
+                assert not (streams[i] & streams[j])
+
+
+# --------------------------------------------------------------- percentiles
+class TestPercentileMath:
+    def test_nearest_rank_fixtures(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+        assert nearest_rank_percentile(values, 10.0) == 10.0
+        assert nearest_rank_percentile(values, 50.0) == 50.0
+        assert nearest_rank_percentile(values, 95.0) == 100.0
+        assert nearest_rank_percentile(values, 99.0) == 100.0
+        assert nearest_rank_percentile(values, 100.0) == 100.0
+
+    def test_ties_collapse(self):
+        assert nearest_rank_percentile([5.0, 5.0, 7.0, 7.0], 50.0) == 5.0
+        assert nearest_rank_percentile([5.0, 5.0, 7.0, 7.0], 75.0) == 7.0
+
+    def test_single_sample_reports_itself_everywhere(self):
+        for pct in (50.0, 95.0, 99.0, 100.0):
+            assert nearest_rank_percentile([42.0], pct) == 42.0
+
+    def test_empty_and_invalid(self):
+        assert nearest_rank_percentile([], 95.0) == 0.0
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1.0], 0.0)
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1.0], 101.0)
+
+    def test_client_metrics_fixture(self):
+        rows = client_metrics([[400.0, 100.0, 300.0, 200.0], [50.0]], duration_s=2.0)
+        first, second = rows
+        assert first["client"] == 0.0
+        assert first["operations"] == 4.0
+        assert first["throughput_ops_s"] == 2.0
+        assert first["mean_latency_ns"] == 250.0
+        assert first["p50_latency_ns"] == 200.0
+        assert first["p95_latency_ns"] == 400.0
+        assert first["p99_latency_ns"] == 400.0
+        assert second["operations"] == 1.0
+        assert second["throughput_ops_s"] == 0.5
+        assert second["p50_latency_ns"] == 50.0
+        assert second["p95_latency_ns"] == 50.0
+
+    def test_client_metrics_empty_client(self):
+        (row,) = client_metrics([[]], duration_s=2.0)
+        assert row["operations"] == 0.0
+        assert row["mean_latency_ns"] == 0.0
+        assert row["p95_latency_ns"] == 0.0
+
+    def test_client_summary_fixture(self):
+        rows = client_metrics([[400.0, 100.0, 300.0, 200.0], [50.0]], duration_s=2.0)
+        summary = client_summary_metrics(rows)
+        assert summary["clients"] == 2.0
+        assert summary["client_throughput_min_ops_s"] == 0.5
+        assert summary["client_p50_latency_ns"] == 125.0
+        assert summary["client_p95_latency_ns"] == 225.0
+        assert summary["client_p99_latency_ns"] == 225.0
+        assert summary["client_p95_latency_ns_worst"] == 400.0
+        assert client_summary_metrics([]) == {}
+
+
+# ------------------------------------------------------- cache-key identity
+class TestCacheKeyCompatibility:
+    def test_golden_keys_unchanged(self):
+        assert (
+            cache_key("ext4", postmark_workload(), BenchmarkConfig(), seed=42)
+            == GOLDEN_KEY_EXT4_POSTMARK
+        )
+        assert (
+            cache_key(
+                "ext2",
+                random_read_workload(8 * MiB),
+                BenchmarkConfig(duration_s=2.0, repetitions=2),
+                seed=7,
+                testbed=scaled_testbed(0.0625),
+            )
+            == GOLDEN_KEY_EXT2_RANDREAD
+        )
+        assert (
+            cache_key(
+                "xfs",
+                postmark_workload(),
+                BenchmarkConfig(),
+                seed=43,
+                snapshot_fingerprint="abc123",
+            )
+            == GOLDEN_KEY_XFS_SNAPSHOT
+        )
+
+    def test_explicit_clients_one_is_the_legacy_key(self):
+        assert (
+            cache_key("ext4", postmark_workload(), BenchmarkConfig(clients=1), seed=42)
+            == GOLDEN_KEY_EXT4_POSTMARK
+        )
+
+    def test_multi_client_key_differs_and_is_stable(self):
+        assert (
+            cache_key("ext4", postmark_workload(), BenchmarkConfig(clients=4), seed=42)
+            == GOLDEN_KEY_EXT4_POSTMARK_C4
+        )
+        assert GOLDEN_KEY_EXT4_POSTMARK_C4 != GOLDEN_KEY_EXT4_POSTMARK
+
+    def test_work_unit_key_matches_with_and_without_clients_field(self):
+        spec = postmark_workload()
+        bare = WorkUnit(fs_type="ext4", spec=spec, config=BenchmarkConfig(seed=42))
+        explicit = WorkUnit(
+            fs_type="ext4", spec=spec, config=BenchmarkConfig(seed=42, clients=1)
+        )
+        assert bare.key() == explicit.key() == GOLDEN_KEY_EXT4_POSTMARK
+
+
+# -------------------------------------------------- backward-compat results
+class TestLegacyResultIdentity:
+    def test_single_client_payload_is_byte_identical_to_seed(self):
+        # The exact serialized bytes of a clients=1 measurement, pinned
+        # against the pre-concurrency repository.
+        run = run_single_repetition(
+            "ext4",
+            postmark_workload(file_count=120),
+            repetition=0,
+            testbed=scaled_testbed(0.0625),
+            config=BenchmarkConfig(duration_s=2.0, repetitions=1),
+        )
+        buffer = io.StringIO()
+        save_run_result(run, buffer)
+        digest = hashlib.sha256(buffer.getvalue().encode("utf-8")).hexdigest()
+        assert digest == GOLDEN_RUN_SHA256
+        assert run.client_metrics is None
+        assert "client_metrics" not in run_result_to_dict(run)
+
+    def test_config_rejects_bad_client_counts(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(clients=0).validate()
+
+
+# --------------------------------------------------------- determinism
+class TestMultiClientDeterminism:
+    def _run(self, clients: int, seed: int = 11):
+        return run_single_repetition(
+            "ext4",
+            small_spec(),
+            repetition=0,
+            testbed=scaled_testbed(1.0 / 16.0),
+            config=concurrency_config(seed=seed, clients=clients),
+        )
+
+    def test_same_seed_is_bit_identical(self):
+        first = json.dumps(run_result_to_dict(self._run(clients=3)), sort_keys=True)
+        second = json.dumps(run_result_to_dict(self._run(clients=3)), sort_keys=True)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = json.dumps(run_result_to_dict(self._run(clients=3, seed=11)), sort_keys=True)
+        second = json.dumps(run_result_to_dict(self._run(clients=3, seed=12)), sort_keys=True)
+        assert first != second
+
+    def test_client_metrics_account_for_every_operation(self):
+        run = self._run(clients=4)
+        assert run.client_metrics is not None
+        assert len(run.client_metrics) == 4
+        assert [row["client"] for row in run.client_metrics] == [0.0, 1.0, 2.0, 3.0]
+        assert sum(row["operations"] for row in run.client_metrics) == run.operations
+        assert run.clients == 4
+
+    def test_multi_client_payload_round_trips(self):
+        run = self._run(clients=2)
+        payload = run_result_to_dict(run)
+        assert "client_metrics" in payload
+        restored = run_result_from_dict(payload)
+        assert run_result_to_dict(restored) == payload
+
+
+class TestRegistryDeterminism:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_REGISTRY))
+    def test_identical_stacks_replay_identical_op_streams(self, name, tiny_testbed):
+        # Every registry workload, same seed on freshly-built identical
+        # stacks: the op stream (type, latency, completion time, thread,
+        # bytes) must match element for element.  This is the property the
+        # event loop's clock rewinding relies on.
+        from repro.workloads.spec import WorkloadEngine
+
+        spec = WORKLOAD_REGISTRY[name](tiny_testbed)
+        streams = []
+        for _ in range(2):
+            stack = build_stack("ext4", testbed=tiny_testbed, seed=5)
+            records = []
+            engine = WorkloadEngine(
+                stack,
+                spec,
+                seed=1234,
+                on_op=lambda record: records.append(
+                    (
+                        record.op,
+                        record.latency_ns,
+                        record.end_time_ns,
+                        record.thread,
+                        record.bytes_moved,
+                    )
+                ),
+            )
+            engine.setup()
+            engine.run(max_ops=25)
+            streams.append(records)
+        assert streams[0] == streams[1]
+        assert len(streams[0]) == 25
+
+
+# ------------------------------------------------------ event-loop behaviour
+class TestEventLoop:
+    def _sessions(self, clients: int, tiny_testbed):
+        stack = build_stack("ext4", testbed=tiny_testbed, seed=5)
+        sessions = build_sessions(stack, small_spec(), base_seed=11, clients=clients)
+        for session in sessions:
+            session.engine.setup()
+            session.ready_ns = stack.clock.now_ns
+        return stack, sessions
+
+    def test_requires_a_bound(self, tiny_testbed):
+        stack, sessions = self._sessions(2, tiny_testbed)
+        with pytest.raises(ValueError):
+            run_window(sessions, stack.clock)
+        with pytest.raises(ValueError):
+            run_window([], stack.clock, max_ops=1)
+
+    def test_window_executes_and_advances_clock(self, tiny_testbed):
+        stack, sessions = self._sessions(2, tiny_testbed)
+        before = stack.clock.now_ns
+        executed = run_window(sessions, stack.clock, max_ops=40)
+        assert executed == 40
+        assert stack.clock.now_ns == max(s.ready_ns for s in sessions)
+        assert stack.clock.now_ns > before
+        assert all(s.engine.ops_executed > 0 for s in sessions)
+
+    def test_duration_window_respects_deadline(self, tiny_testbed):
+        stack, sessions = self._sessions(2, tiny_testbed)
+        origin = stack.clock.now_ns
+        run_window(sessions, stack.clock, duration_s=0.05)
+        # Every issued op started before the deadline; cursors may overhang
+        # by at most one operation's service time.
+        assert all(s.ready_ns >= origin for s in sessions)
+        assert min(s.ready_ns for s in sessions) >= origin + 0.05 * 1e9
+
+    def test_interleaving_is_contended_not_concatenated(self, tiny_testbed):
+        # A 4-client window is not four serial runs: each client executes
+        # fewer ops per unit of virtual time than an uncontended client
+        # because the shared device queue pushes its completions out.
+        stack, sessions = self._sessions(1, tiny_testbed)
+        run_window(sessions, stack.clock, duration_s=0.2)
+        solo_ops = sessions[0].engine.ops_executed
+
+        stack4, sessions4 = self._sessions(4, tiny_testbed)
+        run_window(sessions4, stack4.clock, duration_s=0.2)
+        per_client = [s.engine.ops_executed for s in sessions4]
+        assert max(per_client) < solo_ops
+        # ... and nobody starves: the min-cursor policy is fair.
+        assert min(per_client) > 0
+
+
+# ----------------------------------------------- serial vs parallel identity
+class TestSerialParallelIdentity:
+    @pytest.mark.slow
+    def test_frames_identical_across_worker_counts(self, tmp_path):
+        from repro.core.experiment import Experiment, ParameterGrid
+
+        def outcome(n_workers):
+            return Experiment(
+                grid=ParameterGrid.of(
+                    fs=["ext4"], workload=[small_spec()], clients=[1, 2]
+                ),
+                config=concurrency_config(repetitions=2),
+                testbed=scaled_testbed(1.0 / 16.0),
+                n_workers=n_workers,
+            ).run()
+
+        serial = outcome(1).frame.rows
+        parallel = outcome(2).frame.rows
+        assert serial == parallel
+        assert {row["clients"] for row in parallel} == {1, 2}
