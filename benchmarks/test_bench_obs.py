@@ -1,0 +1,59 @@
+"""Overhead guard for the observability layer (repro.obs).
+
+Tracing promises to be non-perturbing in *virtual* time; this module bounds
+its cost in *wall-clock* time.  The traced run of the golden cell is timed
+under pytest-benchmark, the identical untraced run is timed inline, and the
+ratio must stay within a modest constant -- if the tracer ever starts
+dominating the simulation it should fail loudly here, not silently tax
+every ``explain`` invocation.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+
+from repro.core.parallel import WorkUnit
+from repro.core.runner import BenchmarkConfig
+from repro.obs import payloads_match, run_unit_traced
+from repro.storage.config import scaled_testbed
+from repro.workloads.registry import postmark_workload
+
+#: Traced wall-clock must stay under this multiple of untraced wall-clock.
+#: The hooks are a handful of float adds and a deque append per charge;
+#: 3x leaves generous headroom for noisy CI machines.
+MAX_OVERHEAD_RATIO = 3.0
+
+
+def golden_unit() -> WorkUnit:
+    """The same cell the golden-hash tests pin (ext4/postmark, 2 s window)."""
+    return WorkUnit(
+        fs_type="ext4",
+        spec=postmark_workload(file_count=120),
+        config=BenchmarkConfig(duration_s=2.0, repetitions=1),
+        testbed=scaled_testbed(0.0625),
+    )
+
+
+def test_bench_traced_run_overhead(benchmark):
+    """One traced repetition of the golden cell, vs its untraced twin."""
+    from repro.core.parallel import execute_unit
+
+    # Warm interpreter caches once, then time the untraced baseline inline.
+    execute_unit(golden_unit())
+    started = time.perf_counter()
+    untraced = execute_unit(golden_unit())
+    untraced_s = time.perf_counter() - started
+
+    traced = run_once(benchmark, run_unit_traced, golden_unit())
+
+    traced_s = benchmark.stats.stats.mean
+    ratio = traced_s / untraced_s if untraced_s > 0 else float("inf")
+    benchmark.extra_info["untraced_seconds"] = untraced_s
+    benchmark.extra_info["overhead_ratio"] = ratio
+    benchmark.extra_info["trace_events"] = len(traced.trace_events)
+    benchmark.extra_info["check:payload_identical"] = payloads_match(traced, untraced)
+    benchmark.extra_info["check:overhead_bounded"] = ratio < MAX_OVERHEAD_RATIO
+
+    assert payloads_match(traced, untraced)
+    assert traced.attribution is not None
+    assert ratio < MAX_OVERHEAD_RATIO

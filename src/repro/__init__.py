@@ -25,6 +25,10 @@ Python library:
   and honest cross-system comparison.
 * :mod:`repro.aging` -- file system aging engines, fragmentation metrics and
   deterministic state snapshots (the aged-vs-fresh scenario axis).
+* :mod:`repro.obs` -- virtual-time tracing and full-stack latency
+  attribution: a span-stack :class:`~repro.obs.Tracer`, the per-layer
+  :class:`~repro.obs.Attribution` breakdown behind ``fsbench-rocket
+  trace``/``explain``, and the unified metrics registry.
 * :mod:`repro.experiments` -- one harness per figure/table of the paper.
 
 Quick start::
@@ -79,6 +83,7 @@ from repro.aging import (
     snapshot_stack,
 )
 from repro.fs import build_stack, StorageStack
+from repro.obs import Attribution, MetricsRegistry, Tracer
 from repro.storage import (
     FlashGeometry,
     FlashTranslationLayer,
@@ -97,7 +102,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Experiment",
@@ -138,6 +143,9 @@ __all__ = [
     "run_single_repetition",
     "build_stack",
     "StorageStack",
+    "Attribution",
+    "MetricsRegistry",
+    "Tracer",
     "paper_testbed",
     "scaled_testbed",
     "ssd_ftl_testbed",

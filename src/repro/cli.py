@@ -18,6 +18,20 @@ Axis values resolve by name through the registries ``list`` prints
 axis name is a :class:`~repro.core.runner.BenchmarkConfig` field override
 (``--axis duration_s=5``).
 
+``trace`` and ``explain`` answer the paper's "where did the time go?"
+question for any single cell (see :mod:`repro.obs`)::
+
+    fsbench-rocket trace --axis fs=ext4 --axis workload=postmark \\
+        --out trace.jsonl --chrome trace.json
+    fsbench-rocket explain --axis fs=ext4 --axis workload=postmark \\
+        --cache-dir .fsbench-cache
+
+``trace`` runs the cell with the virtual-time tracer attached and exports
+the span events; ``explain`` re-runs a cached cell traced, proves the traced
+measurement bit-identical to the cached one, and prints the per-layer
+latency-attribution pivot.  Progress goes through ``logging`` to stderr
+(``-v``/``--log-level`` control it); rendered tables stay on stdout.
+
 The legacy harness commands remain as shims over the same engine::
 
     fsbench-rocket table1 [--measured --quick]
@@ -39,6 +53,7 @@ from the aged state.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from dataclasses import replace
 from typing import List, Optional
@@ -68,6 +83,55 @@ from repro.storage.device import SCHEDULER_REGISTRY
 #: ``list`` output) automatically.
 DEVICE_CHOICES = DEFAULT_DEVICE_KINDS
 SCHEDULER_CHOICES = tuple(SCHEDULER_REGISTRY)
+
+#: Progress/diagnostics logger.  Everything here goes to stderr so stdout
+#: stays machine-consumable (result tables, rendered reports, JSONL paths).
+logger = logging.getLogger("fsbench-rocket")
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream lazily (instead of at configure time) keeps log
+    output visible to anything that swaps ``sys.stderr`` after logging was
+    configured -- pytest's capture machinery in particular.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stderr)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:  # StreamHandler.__init__ assigns this
+        pass
+
+
+def _configure_logging(args) -> None:
+    """Wire the CLI logger from ``-v``/``--log-level``/``--quiet``.
+
+    Explicit ``--log-level`` wins; otherwise ``-v`` raises verbosity to
+    DEBUG and ``--quiet`` (where the subcommand has it) lowers it to
+    WARNING, keeping the historical default of progress lines on stderr.
+    """
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper())
+    elif args.verbose:
+        level = logging.DEBUG
+    elif getattr(args, "quiet", False):
+        level = logging.WARNING
+    else:
+        level = logging.INFO
+    logger.setLevel(level)
+    logger.propagate = False
+    if not logger.handlers:
+        handler = _StderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
 
 
 def _nonnegative_int(value: str) -> int:
@@ -168,6 +232,19 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's full durations and repetition counts (slower)",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="debug-level progress on stderr (result tables stay on stdout)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=LOG_LEVELS,
+        help="explicit stderr log level (overrides -v and --quiet)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = subparsers.add_parser(
@@ -225,6 +302,72 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "list",
         help="list registered filesystems, workloads, devices, schedulers and experiments",
+    )
+
+    axis_help = (
+        "pin one grid axis (repeatable); every axis must resolve to a single "
+        "value -- tracing explains exactly one cell"
+    )
+    trace_cmd = subparsers.add_parser(
+        "trace",
+        help="run one cell with tracing on; export span events and the latency attribution",
+    )
+    trace_cmd.add_argument(
+        "--axis",
+        action="append",
+        type=_parse_axis,
+        default=[],
+        metavar="NAME=VALUE",
+        help=axis_help,
+    )
+    trace_cmd.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125)",
+    )
+    trace_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the trace events as JSON Lines here",
+    )
+    trace_cmd.add_argument(
+        "--chrome",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON here (open in chrome://tracing or Perfetto)",
+    )
+
+    explain_cmd = subparsers.add_parser(
+        "explain",
+        help="re-derive the per-layer latency attribution of a (cached) cell",
+    )
+    explain_cmd.add_argument(
+        "--axis",
+        action="append",
+        type=_parse_axis,
+        default=[],
+        metavar="NAME=VALUE",
+        help=axis_help,
+    )
+    explain_cmd.add_argument(
+        "--scaled-testbed",
+        type=_testbed_fraction,
+        default=None,
+        metavar="FRACTION",
+        help="shrink the simulated machine by this factor (e.g. 0.125)",
+    )
+    explain_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result cache holding the cell (the explained measurement is "
+            "checked bit-for-bit against the cached entry; a missing entry "
+            "is measured and stored first)"
+        ),
     )
 
     for name, needs_fs in (
@@ -524,16 +667,18 @@ def _run_experiment(args) -> int:
     def on_cell(cell, repetitions) -> None:
         completed["cells"] += 1
         summary = repetitions.throughput_summary()
-        print(
-            f"[{completed['cells']}/{total}] {cell.label}: "
-            f"{summary.mean:.0f} ops/s +/-{summary.relative_stddev_percent:.0f}% "
-            f"({len(repetitions)} reps)",
-            file=sys.stderr,
+        logger.info(
+            "[%d/%d] %s: %.0f ops/s +/-%.0f%% (%d reps)",
+            completed["cells"],
+            total,
+            cell.label,
+            summary.mean,
+            summary.relative_stddev_percent,
+            len(repetitions),
         )
 
-    if not args.quiet:
-        print(experiment.describe(), file=sys.stderr)
-    outcome = experiment.run(on_cell=None if args.quiet else on_cell)
+    logger.info("%s", experiment.describe())
+    outcome = experiment.run(on_cell=on_cell)
     print(outcome.render())
     if args.out:
         if args.out.endswith(".csv"):
@@ -541,6 +686,116 @@ def _run_experiment(args) -> int:
         else:
             outcome.frame.to_jsonl(args.out)
         print(f"wrote {len(outcome.frame)} records -> {args.out}")
+    return 0
+
+
+def _single_cell(args, name: str):
+    """Resolve ``--axis`` flags into exactly one experiment cell.
+
+    Shared by ``trace`` and ``explain``, which attribute one measurement at
+    a time; multi-valued axes are a usage error, not an implicit loop.
+    """
+    axes = {}
+    for axis_name, values in args.axis:
+        axes.setdefault(axis_name, []).extend(values)
+    axes.setdefault("fs", ["ext2"])
+    axes.setdefault("workload", ["random-read-cached"])
+    testbed = (
+        scaled_testbed(args.scaled_testbed)
+        if args.scaled_testbed is not None
+        else paper_testbed()
+    )
+    experiment = Experiment(grid=ParameterGrid(axes), name=name, testbed=testbed)
+    cells = experiment.cells()
+    if len(cells) != 1:
+        raise ValueError(
+            f"{name} needs exactly one cell, got {len(cells)}; "
+            "pin every --axis to a single value"
+        )
+    return cells[0]
+
+
+def _run_trace(args) -> int:
+    """The ``trace`` subcommand: one traced run, exported events, attribution."""
+    import json
+
+    from repro.obs import (
+        chrome_trace,
+        render_attribution,
+        render_client_attribution,
+        run_unit_traced,
+        write_jsonl,
+    )
+
+    try:
+        cell = _single_cell(args, "trace")
+    except (ValueError, TypeError, AttributeError, OSError) as error:
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    unit = cell.work_units()[0]
+    logger.info("tracing %s (effective seed %d)", cell.label, unit.seed)
+    run = run_unit_traced(unit)
+    events = run.trace_events or []
+    if args.out:
+        with open(args.out, "w") as handle:
+            count = write_jsonl(events, handle)
+        print(f"wrote {count} trace events -> {args.out}")
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            json.dump(chrome_trace(events), handle)
+        print(f"wrote Chrome trace -> {args.chrome}")
+    print(render_attribution(run.attribution, title=f"{cell.label}: latency attribution"))
+    per_client = render_client_attribution(run.attribution)
+    if per_client:
+        print()
+        print(per_client)
+    return 0
+
+
+def _run_explain(args) -> int:
+    """The ``explain`` subcommand: attribution for a cached cell, verified.
+
+    The cached entry (measured first if absent) is the reference; the cell is
+    re-run traced and the two payloads must match bit-for-bit -- the CLI face
+    of the non-perturbation guarantee.
+    """
+    from repro.core.parallel import ResultCache, execute_unit
+    from repro.obs import payloads_match, render_attribution, render_client_attribution, run_unit_traced
+
+    try:
+        cell = _single_cell(args, "explain")
+    except (ValueError, TypeError, AttributeError, OSError) as error:
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    unit = cell.work_units()[0]
+    key = unit.key()
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    reference = cache.get(key) if cache is not None else None
+    if reference is None:
+        logger.info("cell %s not cached; measuring the reference now", cell.label)
+        reference = execute_unit(unit)
+        if cache is not None:
+            cache.put(key, reference)
+    else:
+        logger.info("explaining cached cell %s", cell.label)
+    traced = run_unit_traced(unit)
+    if not payloads_match(reference, traced):
+        print(
+            "fsbench-rocket: error: the traced re-run diverged from the "
+            "reference measurement (tracing perturbed the run?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"{cell.label}: traced re-run is bit-identical to the reference "
+        f"measurement (key {key[:12]}...)"
+    )
+    print()
+    print(render_attribution(traced.attribution, title=f"{cell.label}: latency attribution"))
+    per_client = render_client_attribution(traced.attribution)
+    if per_client:
+        print()
+        print(per_client)
     return 0
 
 
@@ -605,12 +860,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args)
     scale = paper_scale() if args.paper_scale else default_scale()
 
     if args.command == "list":
         return _run_list(args)
     if args.command == "run":
         return _run_experiment(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "table1":
         measured_fs_types = None
         if not args.measured and (

@@ -231,6 +231,7 @@ def run_window(
     clock,
     duration_s: Optional[float] = None,
     max_ops: Optional[int] = None,
+    tracer=None,
 ) -> int:
     """Interleave the sessions for one window of virtual time.
 
@@ -266,6 +267,9 @@ def run_window(
         if deadline_ns is not None and session.ready_ns >= deadline_ns:
             # The earliest cursor is past the deadline, so every cursor is.
             break
+        if tracer is not None:
+            # Attribute everything the dispatched op charges to this client.
+            tracer.current_client = session.index
         clock.reset(session.ready_ns)
         session.engine.step()
         session.ready_ns = clock.now_ns

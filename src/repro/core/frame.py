@@ -69,8 +69,11 @@ def run_metrics(run: RunResult) -> Dict[str, float]:
 
     Multi-client repetitions additionally report the cross-client summaries
     (client count, minimum per-client throughput, mean and worst-case exact
-    percentiles); single-client runs emit exactly the legacy twelve metrics,
-    so existing frames, pivots and JSONL exports are unchanged.
+    percentiles); traced repetitions additionally report one
+    ``attr_<category>_ns`` total per attribution category (dashes become
+    underscores, e.g. ``attr_gc_pause_ns``).  Untraced single-client runs
+    emit exactly the legacy twelve metrics, so existing frames, pivots and
+    JSONL exports are unchanged.
     """
     metrics = {
         "throughput_ops_s": run.throughput_ops_s,
@@ -90,6 +93,10 @@ def run_metrics(run: RunResult) -> Dict[str, float]:
         from repro.core.concurrency import client_summary_metrics
 
         metrics.update(client_summary_metrics(run.client_metrics))
+    if run.attribution:
+        totals = run.attribution.get("totals", {})
+        for category in run.attribution.get("categories", ()):
+            metrics[f"attr_{category.replace('-', '_')}_ns"] = float(totals.get(category, 0.0))
     return metrics
 
 

@@ -119,11 +119,17 @@ def cache_key(
     top-level ``clients`` entry only when greater than one, so every
     ``clients=1`` key -- and with it every cache entry ever written --
     stays byte-identical to the pre-concurrency era.
+
+    ``config.trace`` is stripped unconditionally and never re-added:
+    tracing is observability, not physics (the measurement is bit-identical
+    with it on or off -- see :mod:`repro.obs`), so a traced run and an
+    untraced run are the *same* measurement and must share a cache entry.
     """
     config_payload = _canonical(replace(config, seed=0, repetitions=1))
     clients = int(getattr(config, "clients", 1) or 1)
     if isinstance(config_payload, dict):
         config_payload.pop("clients", None)
+        config_payload.pop("trace", None)
     payload = {
         "cache_format": CACHE_FORMAT_VERSION,
         "fs_type": fs_type,

@@ -62,6 +62,14 @@ def run_result_to_dict(run: RunResult) -> Dict:
     ``client_metrics`` is written only when present (multi-client runs), so
     every legacy single-client payload -- including each entry of the
     parallel executor's result cache -- stays byte-identical.
+
+    ``attribution`` and ``trace_events`` (see :mod:`repro.obs`) are
+    deliberately **never** serialised: they are derived evidence,
+    reproducible on demand by re-running the same unit traced, and keeping
+    them out of the payload is what makes traced and untraced runs
+    byte-identical on disk (and lets them share one cache entry).  The keys
+    below are enumerated explicitly -- not reflected from the dataclass --
+    precisely so new in-memory fields stay out of the format by default.
     """
     payload = {
         "workload_name": run.workload_name,

@@ -56,6 +56,15 @@ class RunResult:
         clients (see :mod:`repro.core.concurrency`); ``None`` on the legacy
         single-client path, so existing results and cache entries keep
         their exact payloads.
+    attribution:
+        Per-layer, per-op-type latency breakdown (see :mod:`repro.obs`),
+        present only when the repetition ran with tracing enabled.  Derived
+        evidence, reproducible on demand -- deliberately **never
+        serialized**, so payloads and cache entries stay byte-identical
+        with tracing on or off.
+    trace_events:
+        The (bounded) trace-event ring from a traced repetition; in-memory
+        only, never serialized.
     """
 
     workload_name: str
@@ -77,6 +86,8 @@ class RunResult:
     bytes_written: int = 0
     environment: Dict[str, float] = field(default_factory=dict)
     client_metrics: Optional[List[Dict[str, float]]] = None
+    attribution: Optional[Dict[str, object]] = None
+    trace_events: Optional[List] = None
 
     @property
     def clients(self) -> int:

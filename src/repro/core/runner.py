@@ -33,8 +33,14 @@ from repro.core.results import RepetitionSet, RunResult
 from repro.core.steady_state import SteadyStateDetector
 from repro.core.timeline import HistogramTimeline, IntervalSeries
 from repro.fs.stack import StorageStack, build_stack
+from repro.obs.trace import Tracer
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.spec import OpRecord, WorkloadEngine, WorkloadSpec
+
+#: Event-ring capacity of the tracer the runner attaches for traced windows.
+#: Attribution totals are exact regardless of this bound -- only the raw
+#: event list is ring-buffered.
+TRACE_RING_CAPACITY = 65536
 
 
 class WarmupMode(str, Enum):
@@ -112,6 +118,12 @@ class BenchmarkConfig:
         the workload through the deterministic virtual-time event loop
         (:mod:`repro.core.concurrency`) and reports per-client metrics on
         the result.
+    trace:
+        Attach a :class:`repro.obs.Tracer` for the measured window and
+        attach the resulting latency attribution and event ring to the
+        result.  Tracing is non-perturbing: the measurement (and its
+        serialized payload, and its cache key) is bit-identical with this
+        on or off, which is why the flag is stripped from cache keys.
     """
 
     duration_s: float = 20.0
@@ -127,6 +139,7 @@ class BenchmarkConfig:
     seed: int = 42
     noise: EnvironmentNoise = field(default_factory=EnvironmentNoise)
     clients: int = 1
+    trace: bool = False
 
     def validate(self) -> None:
         """Raise ``ValueError`` for impossible configurations."""
@@ -214,6 +227,26 @@ class _Recorder:
             self.histogram_timeline.record(record.end_time_ns, record.latency_ns)
         if self.raw is not None:
             self.raw.append(record.latency_ns)
+
+
+def _flash_environment(stack: StorageStack) -> Dict[str, float]:
+    """Measured-window flash telemetry for the result's environment dict.
+
+    Stateful devices (the FTL SSD) report their flash counters through the
+    stack's metrics registry; the keys are absent for stateless devices so
+    existing results (and cached entries) keep their exact payloads.
+    """
+    if not callable(getattr(stack.device.model, "export_state", None)):
+        return {}
+    device = stack.metrics_registry().snapshot()["device"]
+    return {
+        "device_write_amplification": device["write_amplification"],
+        "device_pages_programmed": device["pages_programmed"],
+        "device_pages_moved": device["pages_moved"],
+        "device_erases": device["erases"],
+        "device_gc_time_ns": device["gc_time_ns"],
+        "device_discards": device["discards"],
+    }
 
 
 def _session_recorder(session, recorder: _Recorder):
@@ -304,10 +337,13 @@ class BenchmarkRunner:
         recorder = _Recorder(config, origin_ns)
         engine.on_op = recorder
         stack.reset_statistics()
+        tracer = self._attach_tracer(stack)
 
         duration = config.duration_s if config.duration_s > 0 else None
         engine.run(duration_s=duration, max_ops=config.max_ops)
         engine.on_op = None
+        if tracer is not None:
+            stack.attach_tracer(None)
 
         measured_duration_s = (stack.clock.now_ns - origin_ns) / 1e9
         throughput = recorder.operations / measured_duration_s if measured_duration_s > 0 else 0.0
@@ -326,21 +362,7 @@ class BenchmarkRunner:
             "page_cache_bytes": float(effective_cache),
             "cpu_speed_factor": cpu_factor,
         }
-        # Stateful devices (the FTL SSD) report their measured-window flash
-        # telemetry; the keys are absent for stateless devices so existing
-        # results (and cached entries) keep their exact payloads.
-        if callable(getattr(stack.device.model, "export_state", None)):
-            model_stats = stack.device.model.stats
-            environment.update(
-                {
-                    "device_write_amplification": model_stats.write_amplification,
-                    "device_pages_programmed": float(model_stats.pages_programmed),
-                    "device_pages_moved": float(model_stats.pages_moved),
-                    "device_erases": float(model_stats.erases),
-                    "device_gc_time_ns": model_stats.gc_time_ns,
-                    "device_discards": float(model_stats.discards),
-                }
-            )
+        environment.update(_flash_environment(stack))
 
         return RunResult(
             workload_name=spec.name,
@@ -361,6 +383,8 @@ class BenchmarkRunner:
             bytes_read=stack.vfs.stats.bytes_read,
             bytes_written=stack.vfs.stats.bytes_written,
             environment=environment,
+            attribution=tracer.attribution.to_dict() if tracer is not None else None,
+            trace_events=tracer.events_list() if tracer is not None else None,
         )
 
     def _run_once_concurrent(self, spec: WorkloadSpec, repetition: int) -> RunResult:
@@ -396,11 +420,16 @@ class BenchmarkRunner:
         for session in sessions:
             session.engine.on_op = _session_recorder(session, recorder)
         stack.reset_statistics()
+        tracer = self._attach_tracer(stack)
 
         duration = config.duration_s if config.duration_s > 0 else None
-        run_window(sessions, stack.clock, duration_s=duration, max_ops=config.max_ops)
+        run_window(
+            sessions, stack.clock, duration_s=duration, max_ops=config.max_ops, tracer=tracer
+        )
         for session in sessions:
             session.engine.on_op = None
+        if tracer is not None:
+            stack.attach_tracer(None)
 
         measured_duration_s = (stack.clock.now_ns - origin_ns) / 1e9
         throughput = recorder.operations / measured_duration_s if measured_duration_s > 0 else 0.0
@@ -418,18 +447,7 @@ class BenchmarkRunner:
             "cpu_speed_factor": cpu_factor,
             "clients": float(config.clients),
         }
-        if callable(getattr(stack.device.model, "export_state", None)):
-            model_stats = stack.device.model.stats
-            environment.update(
-                {
-                    "device_write_amplification": model_stats.write_amplification,
-                    "device_pages_programmed": float(model_stats.pages_programmed),
-                    "device_pages_moved": float(model_stats.pages_moved),
-                    "device_erases": float(model_stats.erases),
-                    "device_gc_time_ns": model_stats.gc_time_ns,
-                    "device_discards": float(model_stats.discards),
-                }
-            )
+        environment.update(_flash_environment(stack))
 
         return RunResult(
             workload_name=spec.name,
@@ -453,9 +471,24 @@ class BenchmarkRunner:
             client_metrics=client_metrics(
                 [session.latencies_ns for session in sessions], measured_duration_s
             ),
+            attribution=tracer.attribution.to_dict() if tracer is not None else None,
+            trace_events=tracer.events_list() if tracer is not None else None,
         )
 
     # ------------------------------------------------------------- internals
+    def _attach_tracer(self, stack: StorageStack) -> Optional[Tracer]:
+        """Attach a tracer for the measured window when ``config.trace`` is on.
+
+        Returns ``None`` (and touches nothing) otherwise, so the untraced
+        path stays structurally identical to every release before tracing
+        existed.
+        """
+        if not self.config.trace:
+            return None
+        tracer = Tracer(stack.clock, capacity=TRACE_RING_CAPACITY)
+        stack.attach_tracer(tracer)
+        return tracer
+
     def _perturbed_environment(self, rng: random.Random):
         """Apply environmental noise to the testbed for one repetition."""
         noise = self.config.noise

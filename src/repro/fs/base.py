@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import MetricSource
 from repro.storage.device import IORequest
 
 
@@ -246,7 +247,7 @@ class Inode:
 
 
 @dataclass
-class FileSystemStats:
+class FileSystemStats(MetricSource):
     """Operation counters kept by each file system model."""
 
     creates: int = 0
@@ -262,11 +263,6 @@ class FileSystemStats:
     journal_commits: int = 0
     metadata_reads: int = 0
     metadata_writes: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        for name in vars(self):
-            setattr(self, name, 0)
 
 
 @dataclass

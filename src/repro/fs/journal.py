@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
+from repro.obs.metrics import MetricSource
 from repro.storage.device import IORequest
 
 
 @dataclass
-class JournalStats:
+class JournalStats(MetricSource):
     """Counters kept by the journal."""
 
     commits: int = 0
@@ -31,14 +32,6 @@ class JournalStats:
     checkpoints: int = 0
     checkpoint_blocks: int = 0
     barriers: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.commits = 0
-        self.blocks_logged = 0
-        self.checkpoints = 0
-        self.checkpoint_blocks = 0
-        self.barriers = 0
 
 
 @dataclass
@@ -96,6 +89,9 @@ class Journal:
         self.checkpoint_threshold = checkpoint_threshold
         self.use_barriers = use_barriers
         self.stats = JournalStats()
+        #: Optional :class:`repro.obs.Tracer`; commits and checkpoints drop
+        #: zero-duration markers on the timeline when attached.
+        self.tracer = None
         self._head = 0  # next journal-relative block to write
         self._pending_checkpoint_blocks: List[int] = []
 
@@ -151,6 +147,8 @@ class Journal:
         self.stats.blocks_logged += transaction.logged_blocks
         if self.use_barriers:
             self.stats.barriers += 1
+        if self.tracer is not None:
+            self.tracer.marker(f"journal-commit:{transaction.logged_blocks}")
 
         # Checkpoint when the log is getting full.
         if self.used_blocks >= self.size_blocks * self.checkpoint_threshold:
@@ -171,6 +169,8 @@ class Journal:
         ]
         self.stats.checkpoints += 1
         self.stats.checkpoint_blocks += len(requests)
+        if self.tracer is not None:
+            self.tracer.marker(f"journal-checkpoint:{len(requests)}")
         self._pending_checkpoint_blocks.clear()
         return requests
 

@@ -19,6 +19,7 @@ from repro.fs.ext3 import Ext3FileSystem
 from repro.fs.ext4 import Ext4FileSystem
 from repro.fs.vfs import VFS
 from repro.fs.xfs import XfsFileSystem
+from repro.obs.metrics import MetricsRegistry
 from repro.storage.cache import PageCache
 from repro.storage.clock import VirtualClock
 from repro.storage.config import TestbedConfig, paper_testbed
@@ -65,13 +66,55 @@ class StorageStack:
         """Name of the mounted file system ("ext2", "ext3", "ext4", "xfs")."""
         return self.fs.name
 
+    @property
+    def journal(self):
+        """The mounted file system's journal/log, or ``None`` (ext2)."""
+        return getattr(self.fs, "journal", None) or getattr(self.fs, "log", None)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Every layer's stats holder behind one ``snapshot()/reset()`` surface.
+
+        Rebuilt on demand (the registry only holds references), so callers
+        always see the live component set -- including the journal when the
+        mounted file system has one.
+        """
+        registry = MetricsRegistry()
+        registry.register("vfs", self.vfs.stats)
+        registry.register("cache", self.cache.stats)
+        registry.register("fs", self.fs.stats)
+        registry.register("block", self.device.stats)
+        registry.register("device", self.device.model.stats)
+        journal = self.journal
+        if journal is not None:
+            registry.register("journal", journal.stats)
+        return registry
+
     def reset_statistics(self) -> None:
         """Zero every statistics counter in the stack (cache contents are kept)."""
-        self.cache.stats.reset()
-        self.device.stats.reset()
-        self.device.model.stats.reset()
-        self.fs.stats.reset()
-        self.vfs.stats.reset()
+        self.metrics_registry().reset()
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach (or, with ``None``, detach) a :class:`repro.obs.Tracer`.
+
+        Wires the tracer into every instrumented layer and configures it with
+        the journal geometry needed to classify device requests.  Detaching
+        restores the zero-cost disabled state everywhere, including the device
+        model's component capture.
+        """
+        self.vfs.tracer = tracer
+        self.device.tracer = tracer
+        self.device.model.component_trace_enabled = tracer is not None
+        self.device.model.last_components = None
+        journal = self.journal
+        if journal is not None:
+            journal.tracer = tracer
+        if tracer is not None:
+            tracer.has_journal = journal is not None
+            if journal is not None:
+                tracer.journal_region = (
+                    float(journal.start_block * journal.block_size),
+                    float((journal.start_block + journal.size_blocks) * journal.block_size),
+                )
 
     def drop_caches(self) -> int:
         """Flush dirty pages and drop the page cache (cold-cache state)."""

@@ -37,6 +37,7 @@ from repro.fs.common import (
     INODE_TABLE_PSEUDO_INO,
     MAPPING_PSEUDO_INO,
 )
+from repro.obs.metrics import MetricSource
 from repro.storage.cache import PageCache
 from repro.storage.clock import VirtualClock
 from repro.storage.config import CpuCosts
@@ -52,7 +53,7 @@ PageKey = Tuple[int, int]
 
 
 @dataclass
-class VfsStats:
+class VfsStats(MetricSource):
     """Counters for the operations served by a VFS instance."""
 
     reads: int = 0
@@ -72,11 +73,6 @@ class VfsStats:
     discards_issued: int = 0
     #: Discard requests dropped because the device does not support TRIM.
     discards_dropped: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        for name in vars(self):
-            setattr(self, name, 0)
 
 
 class OpenFile:
@@ -148,6 +144,9 @@ class VFS:
         self.dirty_background_ratio = dirty_background_ratio
         self.cpu_speed_factor = cpu_speed_factor
         self.stats = VfsStats()
+        #: Optional :class:`repro.obs.Tracer`; ``None`` keeps tracing a
+        #: single attribute check on every hot path.
+        self.tracer = None
 
         self.page_size = cache.page_size
         self._page_shift = self.page_size.bit_length() - 1
@@ -161,7 +160,10 @@ class VFS:
     def _cpu_ns(self, base_ns: float) -> float:
         """Apply the speed factor and log-normal jitter to a CPU cost."""
         jitter = self.rng.lognormvariate(0.0, self.cpu.jitter_sigma) if self.cpu.jitter_sigma else 1.0
-        return base_ns * self.cpu_speed_factor * jitter
+        latency = base_ns * self.cpu_speed_factor * jitter
+        if self.tracer is not None:
+            self.tracer.cpu(latency)
+        return latency
 
     def _copy_cost_ns(self, nbytes: int) -> float:
         pages = max(1, -(-nbytes // 4096))
@@ -176,13 +178,26 @@ class VFS:
         now = self.clock.now_ns
         queue_wait = max(0.0, self._device_busy_until_ns - now)
         self._device_busy_until_ns = max(now, self._device_busy_until_ns) + service
+        if self.tracer is not None:
+            # Time spent blocked behind a device kept busy by readahead,
+            # writeback or other clients: the "cache" stall category.
+            self.tracer.queue_wait(queue_wait)
         return queue_wait + service
 
     def _device_async(self, requests: List[IORequest]) -> None:
         """Queue asynchronous work: occupies the device but nobody waits now."""
         if not requests:
             return
-        service = self.device.submit(requests, self.rng)
+        if self.tracer is not None:
+            # Fire-and-forget: the tracer keeps these on the timeline but out
+            # of attribution, since their cost reaches ops only as queue wait.
+            self.tracer.push_context("async", async_=True)
+            try:
+                service = self.device.submit(requests, self.rng)
+            finally:
+                self.tracer.pop_context()
+        else:
+            service = self.device.submit(requests, self.rng)
         now = self.clock.now_ns
         self._device_busy_until_ns = max(now, self._device_busy_until_ns) + service
 
@@ -423,10 +438,19 @@ class VFS:
             self.cache.clean(key)
         self.stats.writeback_pages += len(keys)
         requests.sort(key=lambda r: r.offset_bytes)
-        if synchronous:
-            return self._device_wait_and_service(requests)
-        self._device_async(requests)
-        return 0.0
+        if self.tracer is None:
+            if synchronous:
+                return self._device_wait_and_service(requests)
+            self._device_async(requests)
+            return 0.0
+        self.tracer.push_context("writeback")
+        try:
+            if synchronous:
+                return self._device_wait_and_service(requests)
+            self._device_async(requests)
+            return 0.0
+        finally:
+            self.tracer.pop_context()
 
     def _writeback_request(self, key: PageKey) -> IORequest:
         ino, index = key
@@ -484,7 +508,10 @@ class VFS:
             else:
                 self.stats.discards_dropped += len(cost.discard_requests)
         for _ in range(cost.flushes):
-            latency += self.device.flush(self.rng)
+            flush_ns = self.device.flush(self.rng)
+            if self.tracer is not None:
+                self.tracer.flush(flush_ns)
+            latency += flush_ns
         return latency
 
     def create(self, path: str) -> float:

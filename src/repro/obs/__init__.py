@@ -1,0 +1,40 @@
+"""repro.obs -- virtual-time tracing, latency attribution, unified metrics.
+
+The observability layer the paper's methodology demands: every measurement
+can carry the evidence explaining *where* its time went.  See
+``docs/architecture.md`` section 8 for the span model and the argument for
+why tracing cannot perturb virtual time.
+"""
+
+from repro.obs.explain import (
+    payloads_match,
+    render_attribution,
+    render_client_attribution,
+    run_unit_traced,
+)
+from repro.obs.metrics import MetricSource, MetricsRegistry
+from repro.obs.trace import (
+    BACKGROUND,
+    CATEGORIES,
+    Attribution,
+    TraceEvent,
+    Tracer,
+    chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Attribution",
+    "BACKGROUND",
+    "CATEGORIES",
+    "MetricSource",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "payloads_match",
+    "render_attribution",
+    "render_client_attribution",
+    "run_unit_traced",
+    "write_jsonl",
+]

@@ -1,0 +1,121 @@
+"""Rendering and re-run helpers behind ``fsbench-rocket explain``/``trace``.
+
+``explain`` answers the paper's "where did the time go?" question for any
+experiment cell: it re-executes the cell with tracing enabled (bypassing the
+result cache -- a cache hit skips execution and therefore carries no
+attribution), checks the traced measurement is bit-identical to the cached
+one, and renders the per-layer breakdown.
+
+Module-level imports stay within ``repro.obs`` so the runner can import the
+tracer without a circular dependency; the helpers that need the execution
+machinery import it lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.trace import BACKGROUND, CATEGORIES
+
+__all__ = [
+    "render_attribution",
+    "render_client_attribution",
+    "run_unit_traced",
+    "payloads_match",
+]
+
+
+def _fmt_ms(value_ns: float) -> str:
+    return f"{value_ns / 1e6:.3f}"
+
+
+def render_attribution(attribution: Dict[str, object], title: Optional[str] = None) -> str:
+    """Render an ``RunResult.attribution`` dict as a fixed-width pivot.
+
+    Rows are op types (plus an ``(all ops)`` total row and a ``share`` row of
+    category percentages); columns are the seven attribution categories plus
+    a row total.  Values are virtual milliseconds.
+    """
+    ops: Dict[str, Dict[str, float]] = attribution.get("ops", {})  # type: ignore[assignment]
+    totals: Dict[str, float] = attribution.get("totals", {})  # type: ignore[assignment]
+    background: Dict[str, float] = attribution.get("background", {})  # type: ignore[assignment]
+    grand_total = sum(totals.values())
+
+    headers = ["op"] + [f"{cat}_ms" for cat in CATEGORIES] + ["total_ms"]
+    rows: List[List[str]] = []
+    for op in sorted(ops):
+        cats = ops[op]
+        row_total = sum(cats.values())
+        rows.append([op] + [_fmt_ms(cats.get(cat, 0.0)) for cat in CATEGORIES] + [_fmt_ms(row_total)])
+    rows.append(
+        ["(all ops)"] + [_fmt_ms(totals.get(cat, 0.0)) for cat in CATEGORIES] + [_fmt_ms(grand_total)]
+    )
+    if grand_total > 0:
+        rows.append(
+            ["share"]
+            + [f"{100.0 * totals.get(cat, 0.0) / grand_total:.1f}%" for cat in CATEGORIES]
+            + ["100.0%"]
+        )
+
+    widths = [max(len(headers[i]), max(len(row[i]) for row in rows)) for i in range(len(headers))]
+
+    def fmt_row(cells: List[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = [cell.rjust(widths[i + 1]) for i, cell in enumerate(cells[1:])]
+        return "  ".join([first] + rest)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("-" * len(lines[-1]))
+    lines.extend(fmt_row(row) for row in rows)
+    if background:
+        bg_total = sum(background.values())
+        lines.append(f"{BACKGROUND} outside op spans: {_fmt_ms(bg_total)} ms")
+    return "\n".join(lines)
+
+
+def render_client_attribution(attribution: Dict[str, object]) -> str:
+    """Per-client category breakdown (multi-client runs only)."""
+    clients: Dict[str, Dict[str, float]] = attribution.get("clients", {})  # type: ignore[assignment]
+    if len(clients) <= 1:
+        return ""
+    headers = ["client"] + [f"{cat}_ms" for cat in CATEGORIES] + ["total_ms"]
+    rows = []
+    for client in sorted(clients, key=lambda c: int(c)):
+        cats = clients[client]
+        rows.append(
+            [client]
+            + [_fmt_ms(cats.get(cat, 0.0)) for cat in CATEGORIES]
+            + [_fmt_ms(sum(cats.values()))]
+        )
+    widths = [max(len(headers[i]), max(len(row[i]) for row in rows)) for i in range(len(headers))]
+    lines = ["  ".join(h.rjust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def run_unit_traced(unit):
+    """Execute one :class:`~repro.core.parallel.WorkUnit` with tracing on.
+
+    Deliberately bypasses the :class:`~repro.core.parallel.ResultCache`: the
+    point is to *execute* and collect attribution.  Because tracing is
+    non-perturbing, the returned measurement is bit-identical to the cached
+    one -- ``payloads_match`` verifies exactly that.
+    """
+    from dataclasses import replace
+
+    from repro.core.parallel import execute_unit
+
+    traced = replace(unit, config=replace(unit.config, trace=True))
+    return execute_unit(traced)
+
+
+def payloads_match(run_a, run_b) -> bool:
+    """Whether two runs serialize to the identical payload (bit-identity)."""
+    from repro.core.persistence import run_result_to_dict
+
+    return run_result_to_dict(run_a) == run_result_to_dict(run_b)

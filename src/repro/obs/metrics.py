@@ -1,0 +1,89 @@
+"""A uniform snapshot/reset protocol for the stack's per-layer counters.
+
+Before this module each layer kept its own ad-hoc stats dataclass
+(``VfsStats``, ``BlockDeviceStats``, ``DeviceStats``, ``JournalStats``,
+``CacheStats``) with hand-written ``reset`` methods, and the runner plucked
+individual fields into ``RunResult.environment`` by name.  Now every stats
+holder mixes in :class:`MetricSource` -- ``snapshot()`` returns the counters
+as a flat ``{name: float}`` dict (dataclass fields plus any derived
+properties the class lists in ``derived_metrics``), ``reset()`` restores
+dataclass defaults -- and a :class:`MetricsRegistry` built by the storage
+stack collects them all uniformly.
+
+Counters are pure observers: nothing in the simulation reads them back, so
+snapshotting or resetting them can never perturb virtual time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["MetricSource", "MetricsRegistry"]
+
+
+class MetricSource:
+    """Mixin giving a stats dataclass the ``snapshot()/reset()`` protocol.
+
+    Subclasses may set ``derived_metrics`` to a tuple of property names to
+    include in snapshots (e.g. a cache's ``hit_ratio``, a flash device's
+    ``write_amplification``).
+    """
+
+    #: Property names included in :meth:`snapshot` alongside the fields.
+    derived_metrics: Tuple[str, ...] = ()
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counters as floats, fields first, derived metrics after."""
+        out: Dict[str, float] = {}
+        for field in dataclasses.fields(self):
+            out[field.name] = float(getattr(self, field.name))
+        for name in self.derived_metrics:
+            out[name] = float(getattr(self, name))
+        return out
+
+    def reset(self) -> None:
+        """Restore every dataclass field to its declared default."""
+        for field in dataclasses.fields(self):
+            if field.default is not dataclasses.MISSING:
+                setattr(self, field.name, field.default)
+            elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                setattr(self, field.name, field.default_factory())  # type: ignore[misc]
+
+
+class MetricsRegistry:
+    """Named collection of the stack's :class:`MetricSource` instances.
+
+    Built per stack (see ``StorageStack.metrics_registry``); layer names are
+    stable identifiers (``vfs``, ``cache``, ``fs``, ``journal``, ``block``,
+    ``device``) so snapshots are self-describing.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, MetricSource] = {}
+
+    def register(self, name: str, source: MetricSource) -> None:
+        if not callable(getattr(source, "snapshot", None)) or not callable(
+            getattr(source, "reset", None)
+        ):
+            raise TypeError(f"metric source {name!r} must provide snapshot() and reset()")
+        if name in self._sources:
+            raise ValueError(f"duplicate metric source {name!r}")
+        self._sources[name] = source
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sources)
+
+    def source(self, name: str) -> MetricSource:
+        return self._sources[name]
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Every layer's counters: ``{layer: {counter: value}}``."""
+        return {name: source.snapshot() for name, source in self._sources.items()}
+
+    def reset(self) -> None:
+        for source in self._sources.values():
+            source.reset()

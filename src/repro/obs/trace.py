@@ -1,0 +1,374 @@
+"""Virtual-time tracing and full-stack latency attribution.
+
+The paper's central complaint is that benchmark numbers arrive without the
+evidence needed to explain them.  This module supplies that evidence for the
+simulated stack: a :class:`Tracer` that records structured events against the
+*virtual* clock while a run executes, and an :class:`Attribution` accumulator
+that folds those events into a per-layer, per-op-type breakdown of where the
+simulated time went.
+
+Design constraints, in order of importance:
+
+1. **Non-perturbing.**  The clock is virtual, so tracing cannot perturb a
+   measurement *by construction* -- as long as the hooks never draw from a
+   shared RNG, never reorder float arithmetic, and only observe values the
+   simulation already computed.  Every hook in the stack follows the pattern
+   ``value = <unchanged expression>; tracer.record(value)``: the traced and
+   untraced runs execute bit-identical latency math.  Golden-hash tests pin
+   this (``tests/test_obs.py``).
+2. **Zero-cost when disabled.**  Disabled tracing is a single
+   ``tracer is None`` check at each hook site; no event objects, no dict
+   lookups, no component captures.
+3. **Bounded memory.**  Events land in a ring buffer (``deque(maxlen=...)``);
+   a long run overwrites its oldest events but keeps exact counters
+   (``total_events``, ``dropped``) and the *complete* attribution, which is
+   accumulated incrementally rather than derived from the ring.
+
+Span model
+----------
+The workload engine opens an *op span* around each flowop it executes
+(:meth:`Tracer.begin_op` / :meth:`Tracer.end_op`).  Inside the span, every
+charged latency component -- CPU jitter, device queue wait, per-request
+service time, journal flushes, FTL garbage-collection pauses -- is recorded
+with :meth:`Tracer.record` and attributed to the span's op type and the
+current client.  Because the virtual clock only advances when the op
+*completes*, events are timestamped with a running cursor that starts at the
+span's issue time and tiles the components end to end; the exported timeline
+therefore reads like a classic trace even though "now" was frozen while the
+op executed.  Charges that occur outside any span (background activity) land
+in a separate ``(background)`` bucket; fire-and-forget work (readahead,
+asynchronous writeback) is ring-only -- visible on the timeline, never
+attributed, because nobody waited for it.
+
+Categories
+----------
+Attribution uses a fixed seven-slot taxonomy (:data:`CATEGORIES`):
+
+``cpu``
+    Charges from ``VFS._cpu_ns`` (per-op CPU cost with jitter).
+``cache``
+    Device queue-wait stalls: time an op spent blocked behind a device made
+    busy by readahead, writeback, or other clients.
+``journal``
+    Device time of journal-region / checkpoint writes and, on journalled
+    file systems, flush barriers.
+``writeback``
+    Synchronous page-cache writeback: dirty-ratio throttling, dirty
+    evictions, fsync/sync data writes, and any other non-journal write.
+``seek``
+    The positioning component (overhead + seek + rotation) of mechanical
+    disk reads.
+``transfer``
+    The media-transfer component of reads; whole service time for
+    non-mechanical models; discards.
+``gc-pause``
+    The FTL garbage-collection component of flash writes.
+
+Per op type, the recorded components sum to the op's measured latency
+exactly (up to float accumulation order), which the invariant tests assert.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+from typing import Dict, IO, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "CATEGORIES",
+    "BACKGROUND",
+    "TraceEvent",
+    "Attribution",
+    "Tracer",
+    "write_jsonl",
+    "chrome_trace",
+]
+
+#: The fixed attribution taxonomy, in display order.
+CATEGORIES: Tuple[str, ...] = (
+    "cpu",
+    "cache",
+    "journal",
+    "writeback",
+    "seek",
+    "transfer",
+    "gc-pause",
+)
+
+#: Bucket for synchronous charges recorded outside any op span.
+BACKGROUND = "(background)"
+
+#: One traced occurrence.  ``ts_ns``/``dur_ns`` are virtual nanoseconds;
+#: ``op`` is the enclosing span's op type (``None`` outside spans); ``client``
+#: is the session index the charge belongs to.  A plain namedtuple keeps the
+#: ring cheap and pickle-friendly.
+TraceEvent = collections.namedtuple(
+    "TraceEvent", ("ts_ns", "dur_ns", "name", "cat", "op", "client")
+)
+
+
+class Attribution:
+    """Incremental per-op-type and per-client latency breakdown.
+
+    Kept separate from the event ring so a bounded ring never loses
+    attribution: every :meth:`add` updates the totals immediately.
+    """
+
+    __slots__ = ("ops", "clients", "background")
+
+    def __init__(self) -> None:
+        #: op type -> category -> accumulated virtual ns.
+        self.ops: Dict[str, Dict[str, float]] = {}
+        #: client index -> category -> accumulated virtual ns.
+        self.clients: Dict[int, Dict[str, float]] = {}
+        #: category -> virtual ns charged outside any op span.
+        self.background: Dict[str, float] = {}
+
+    def add(self, op: Optional[str], client: int, category: str, duration_ns: float) -> None:
+        if op is None:
+            self.background[category] = self.background.get(category, 0.0) + duration_ns
+            return
+        per_op = self.ops.setdefault(op, {})
+        per_op[category] = per_op.get(category, 0.0) + duration_ns
+        per_client = self.clients.setdefault(client, {})
+        per_client[category] = per_client.get(category, 0.0) + duration_ns
+
+    def totals(self) -> Dict[str, float]:
+        """Category totals across all op types (excluding background)."""
+        out: Dict[str, float] = {}
+        for per_op in self.ops.values():
+            for category, duration_ns in per_op.items():
+                out[category] = out.get(category, 0.0) + duration_ns
+        return out
+
+    def op_total(self, op: str) -> float:
+        return sum(self.ops.get(op, {}).values())
+
+    def client_total(self, client: int) -> float:
+        return sum(self.clients.get(client, {}).values())
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain-dict form for ``RunResult.attribution``.
+
+        Deliberately *not* part of the serialized result payload (see
+        ``repro.core.persistence``): attribution is derived evidence,
+        reproducible on demand, and keeping it out of the payload keeps
+        cached entries byte-identical with tracing on or off.
+        """
+        return {
+            "categories": list(CATEGORIES),
+            "ops": {op: dict(cats) for op, cats in sorted(self.ops.items())},
+            "clients": {str(idx): dict(cats) for idx, cats in sorted(self.clients.items())},
+            "background": dict(self.background),
+            "totals": self.totals(),
+        }
+
+
+class Tracer:
+    """Span-stack tracer recording against the virtual clock.
+
+    One tracer instance observes one measured window of one run.  The stack
+    attaches it via :meth:`repro.fs.stack.StorageStack.attach_tracer`, which
+    also configures :attr:`has_journal` and :attr:`journal_region` so device
+    requests can be classified without the journal participating.
+    """
+
+    def __init__(self, clock, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.clock = clock
+        self.capacity = int(capacity)
+        self.events: "collections.deque[TraceEvent]" = collections.deque(maxlen=self.capacity)
+        #: Count of all events ever appended (ring overwrites don't forget).
+        self.total_events = 0
+        self.attribution = Attribution()
+        #: Session index charges are attributed to; the multi-client event
+        #: loop updates this before each dispatched op.
+        self.current_client = 0
+        #: ``(start_byte, end_byte)`` of the journal's on-disk region, or None.
+        self.journal_region: Optional[Tuple[float, float]] = None
+        #: Whether the traced file system journals (drives flush/barrier
+        #: classification).
+        self.has_journal = False
+        self._op: Optional[str] = None
+        self._op_start_ns = 0.0
+        self._cursor_ns = 0.0
+        self._contexts: List[Tuple[str, bool]] = []
+        self._async_depth = 0
+
+    # ------------------------------------------------------------ ring state
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by the bounded ring."""
+        return max(0, self.total_events - len(self.events))
+
+    def events_list(self) -> List[TraceEvent]:
+        return list(self.events)
+
+    def _append(self, ts_ns: float, dur_ns: float, name: str, cat: str) -> None:
+        self.events.append(TraceEvent(ts_ns, dur_ns, name, cat, self._op, self.current_client))
+        self.total_events += 1
+
+    # -------------------------------------------------------------- op spans
+    def begin_op(self, name: str) -> None:
+        """Open the span for one workload operation.
+
+        The event cursor starts at the op's issue time; recorded components
+        tile forward from there (the clock itself only advances at op end).
+        """
+        self._op = name
+        self._op_start_ns = self._cursor_ns = self.clock.now_ns
+
+    def end_op(self, latency_ns: float) -> None:
+        """Close the current span, emitting the op-level event."""
+        if self._op is None:
+            return
+        self._append(self._op_start_ns, latency_ns, self._op, "op")
+        self._op = None
+
+    # --------------------------------------------------------- dispatch state
+    def push_context(self, name: str, async_: bool = False) -> None:
+        """Enter a dispatch context (e.g. ``writeback``, async readahead).
+
+        Async contexts mark fire-and-forget work: recorded events stay on the
+        timeline but are excluded from attribution because no op waited for
+        them.
+        """
+        self._contexts.append((name, async_))
+        if async_:
+            self._async_depth += 1
+
+    def pop_context(self) -> None:
+        name, async_ = self._contexts.pop()
+        if async_:
+            self._async_depth -= 1
+
+    def in_context(self, name: str) -> bool:
+        return any(entry[0] == name for entry in self._contexts)
+
+    # ---------------------------------------------------------------- records
+    def record(self, category: str, duration_ns: float, name: Optional[str] = None) -> None:
+        """Record one already-computed latency component.
+
+        The caller must pass a value the simulation computed anyway -- this
+        method never touches RNG state or the clock, so it cannot perturb
+        virtual time.
+        """
+        if duration_ns <= 0.0:
+            return
+        if self._async_depth:
+            # Fire-and-forget: timeline-only, never attributed.
+            self._append(self.clock.now_ns, duration_ns, name or category, category)
+            return
+        if self._op is not None:
+            ts_ns = self._cursor_ns
+            self._cursor_ns += duration_ns
+        else:
+            ts_ns = self.clock.now_ns
+        self._append(ts_ns, duration_ns, name or category, category)
+        self.attribution.add(self._op, self.current_client, category, duration_ns)
+
+    def marker(self, name: str) -> None:
+        """A zero-duration annotation (journal commit/checkpoint, ...)."""
+        self._append(self.clock.now_ns, 0.0, name, "marker")
+
+    def cpu(self, duration_ns: float) -> None:
+        self.record("cpu", duration_ns, name="cpu")
+
+    def queue_wait(self, duration_ns: float) -> None:
+        self.record("cache", duration_ns, name="queue-wait")
+
+    def flush(self, duration_ns: float) -> None:
+        """A device flush/barrier: journal cost on journalled file systems,
+        plain writeback otherwise."""
+        self.record("journal" if self.has_journal else "writeback", duration_ns, name="flush")
+
+    def device_request(self, request, service_ns: float, components=None) -> None:
+        """Classify and record one block-device request's service time.
+
+        ``components`` is the device model's exact decomposition of
+        ``service_ns`` (``last_components``), populated only while tracing so
+        the untraced hot path pays nothing.  Classification precedence:
+        journal writes (by region, checkpoint priority, or context) beat the
+        writeback/seek/transfer split; the FTL's garbage-collection component
+        is always carved out into ``gc-pause``.
+        """
+        gc_ns = 0.0
+        base_ns = service_ns
+        if components:
+            gc_ns = components.get("gc-pause", 0.0)
+            if gc_ns:
+                base_ns = components.get("transfer", service_ns - gc_ns)
+        name = "discard" if request.is_discard else ("write" if request.is_write else "read")
+        if self.has_journal and not request.is_discard and request.is_write and (
+            request.priority == 1
+            or self.in_context("journal")
+            or self._in_journal_region(request)
+        ):
+            category = "journal"
+        elif request.is_discard:
+            category = "transfer"
+        elif request.is_write:
+            category = "writeback"
+        else:
+            if components and "seek" in components:
+                self.record("seek", components["seek"], name="read-position")
+                base_ns = components.get("transfer", 0.0)
+            category = "transfer"
+        self.record(category, base_ns, name=name)
+        if gc_ns:
+            self.record("gc-pause", gc_ns, name="ftl-gc")
+
+    def _in_journal_region(self, request) -> bool:
+        region = self.journal_region
+        if region is None:
+            return False
+        start, end = region
+        return start <= request.offset_bytes < end
+
+
+# ------------------------------------------------------------------ exports
+def write_jsonl(events: Iterable[TraceEvent], stream: IO[str]) -> int:
+    """Write events as JSON Lines (one event object per line)."""
+    count = 0
+    for event in events:
+        stream.write(
+            json.dumps(
+                {
+                    "ts_ns": event.ts_ns,
+                    "dur_ns": event.dur_ns,
+                    "name": event.name,
+                    "cat": event.cat,
+                    "op": event.op,
+                    "client": event.client,
+                },
+                sort_keys=True,
+            )
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def chrome_trace(events: Sequence[TraceEvent]) -> Dict[str, object]:
+    """Events in Chrome trace-event format (load via ``chrome://tracing`` or
+    Perfetto).  Virtual nanoseconds map to trace microseconds; clients map to
+    thread lanes."""
+    trace_events = []
+    for event in events:
+        trace_events.append(
+            {
+                "name": event.name,
+                "cat": event.cat if event.op is None else f"{event.cat},{event.op}",
+                "ph": "X",
+                "ts": event.ts_ns / 1000.0,
+                "dur": event.dur_ns / 1000.0,
+                "pid": 1,
+                "tid": event.client,
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": "fsbench-rocket trace"},
+    }

@@ -28,6 +28,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.metrics import MetricSource
+
 PageKey = Tuple[int, int]
 
 
@@ -42,7 +44,7 @@ class CachePolicy(str, Enum):
 
 
 @dataclass
-class CacheStats:
+class CacheStats(MetricSource):
     """Hit/miss and eviction counters for a cache instance."""
 
     hits: int = 0
@@ -52,14 +54,8 @@ class CacheStats:
     dirty_evictions: int = 0
     invalidations: int = 0
 
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.dirty_evictions = 0
-        self.invalidations = 0
+    #: Included in :meth:`MetricSource.snapshot` alongside the raw counters.
+    derived_metrics = ("accesses", "hit_ratio")
 
     @property
     def accesses(self) -> int:

@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.obs.metrics import MetricSource
 from repro.storage.disk import DeviceModel
 
 
@@ -155,7 +156,7 @@ def make_scheduler(name: str) -> IOScheduler:
 
 
 @dataclass
-class BlockDeviceStats:
+class BlockDeviceStats(MetricSource):
     """Aggregate counters for a block device."""
 
     requests: int = 0
@@ -165,16 +166,6 @@ class BlockDeviceStats:
     merged_requests: int = 0
     batches: int = 0
     total_service_ns: float = 0.0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.requests = 0
-        self.read_requests = 0
-        self.write_requests = 0
-        self.discard_requests = 0
-        self.merged_requests = 0
-        self.batches = 0
-        self.total_service_ns = 0.0
 
 
 class BlockDevice:
@@ -200,6 +191,8 @@ class BlockDevice:
         self.scheduler = scheduler if scheduler is not None else NoopScheduler()
         self.merge = merge
         self.stats = BlockDeviceStats()
+        #: Optional :class:`repro.obs.Tracer` observing per-request service.
+        self.tracer = None
 
     # ------------------------------------------------------------ single ops
     def read(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
@@ -271,17 +264,23 @@ class BlockDevice:
             self.stats.merged_requests += before - len(ordered)
 
         total = 0.0
+        tracer = self.tracer
         for req in ordered:
+            # `lat = ...; total += lat` is float-identical to the former
+            # `total += ...`; the tracer only observes the computed value.
             if req.is_discard:
-                total += self.model.discard(req.offset_bytes, req.nbytes, rng)
+                lat = self.model.discard(req.offset_bytes, req.nbytes, rng)
                 self.stats.discard_requests += 1
             elif req.is_write:
-                total += self.model.write(req.offset_bytes, req.nbytes, rng)
+                lat = self.model.write(req.offset_bytes, req.nbytes, rng)
                 self.stats.write_requests += 1
             else:
-                total += self.model.read(req.offset_bytes, req.nbytes, rng)
+                lat = self.model.read(req.offset_bytes, req.nbytes, rng)
                 self.stats.read_requests += 1
+            total += lat
             self.stats.requests += 1
+            if tracer is not None:
+                tracer.device_request(req, lat, self.model.last_components)
         self.stats.batches += 1
         self.stats.total_service_ns += total
         return total

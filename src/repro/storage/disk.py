@@ -19,13 +19,13 @@ because that statefulness is exactly what makes disk benchmarks fragile.
 
 from __future__ import annotations
 
-import dataclasses
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from abc import ABC, abstractmethod
 from typing import Optional
 
+from repro.obs.metrics import MetricSource
 from repro.storage.clock import NS_PER_MS, NS_PER_SEC
 
 
@@ -100,7 +100,7 @@ MAXTOR_7L250S0 = DiskGeometry(
 
 
 @dataclass
-class DeviceStats:
+class DeviceStats(MetricSource):
     """Operation counters kept by every device model.
 
     The flash-specific counters (``discards`` through ``gc_time_ns``) stay
@@ -128,10 +128,8 @@ class DeviceStats:
     gc_runs: int = 0
     gc_time_ns: float = 0.0
 
-    def reset(self) -> None:
-        """Zero all counters."""
-        for field_ in dataclasses.fields(self):
-            setattr(self, field_.name, field_.default)
+    #: Included in :meth:`MetricSource.snapshot` alongside the raw counters.
+    derived_metrics = ("write_amplification",)
 
     def total_ops(self) -> int:
         """Total number of read and write operations."""
@@ -161,6 +159,15 @@ class DeviceModel(ABC):
     #: above them issues discards.
     supports_discard: bool = False
 
+    #: When true (set by ``StorageStack.attach_tracer``), latency methods
+    #: leave their exact service-time decomposition in ``last_components``
+    #: for the tracer.  Components are copies of already-computed locals --
+    #: capturing them never draws RNG or changes float arithmetic, so traced
+    #: service times are bit-identical to untraced ones.
+    component_trace_enabled: bool = False
+    #: The last request's ``{component: ns}`` decomposition (tracing only).
+    last_components = None
+
     def __init__(self, capacity_bytes: int, sector_bytes: int = 512) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
@@ -183,6 +190,8 @@ class DeviceModel(ABC):
     def read(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
         """Account a read and return its service time in nanoseconds."""
         self._check_extent(offset_bytes, nbytes)
+        if self.component_trace_enabled:
+            self.last_components = None
         latency = self.read_latency_ns(offset_bytes, nbytes, rng)
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
@@ -192,6 +201,8 @@ class DeviceModel(ABC):
     def write(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
         """Account a write and return its service time in nanoseconds."""
         self._check_extent(offset_bytes, nbytes)
+        if self.component_trace_enabled:
+            self.last_components = None
         latency = self.write_latency_ns(offset_bytes, nbytes, rng)
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
@@ -208,6 +219,8 @@ class DeviceModel(ABC):
         self._check_extent(offset_bytes, nbytes)
         if not self.supports_discard:
             return 0.0
+        if self.component_trace_enabled:
+            self.last_components = None
         latency = self.discard_latency_ns(offset_bytes, nbytes, rng)
         self.stats.discards += 1
         self.stats.bytes_discarded += nbytes
@@ -333,8 +346,14 @@ class MechanicalDisk(DeviceModel):
     def read_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
         if self._in_track_cache(offset_bytes, nbytes):
             # Served from the drive's segment buffer: interface transfer only.
+            # (position + transfer keeps the same left-to-right float sum as
+            # the single-expression form, so the decomposition is exact.)
             self.stats.track_cache_hits += 1
-            latency = self._OVERHEAD_NS / 2.0 + self._transfer_time_ns(offset_bytes, nbytes) / 2.0
+            position = self._OVERHEAD_NS / 2.0
+            transfer = self._transfer_time_ns(offset_bytes, nbytes) / 2.0
+            latency = position + transfer
+            if self.component_trace_enabled:
+                self.last_components = {"seek": position, "transfer": transfer}
             self._head_offset = offset_bytes + nbytes
             return latency
 
@@ -345,7 +364,10 @@ class MechanicalDisk(DeviceModel):
         transfer = self._transfer_time_ns(offset_bytes, nbytes)
         self._head_offset = offset_bytes + nbytes
         self._refill_track_cache(offset_bytes, nbytes)
-        return self._OVERHEAD_NS + seek + rotation + transfer
+        position = self._OVERHEAD_NS + seek + rotation
+        if self.component_trace_enabled:
+            self.last_components = {"seek": position, "transfer": transfer}
+        return position + transfer
 
     def write_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:
         self._invalidate_track_cache(offset_bytes, nbytes)
@@ -464,9 +486,12 @@ class SolidStateDisk(DeviceModel):
         rng = self._rng(rng)
         jitter = rng.uniform(0.9, 1.3)
         latency = self.write_latency_ns_base * jitter + self._transfer_ns(nbytes)
-        if rng.random() < self.gc_probability:
-            latency += self.gc_pause_ns
-        return latency
+        # The coin is flipped unconditionally (as before); adding 0.0 when it
+        # misses is float-identical to not adding at all.
+        gc_pause = self.gc_pause_ns if rng.random() < self.gc_probability else 0.0
+        if self.component_trace_enabled:
+            self.last_components = {"transfer": latency, "gc-pause": gc_pause}
+        return latency + gc_pause
 
     def reset_state(self) -> None:
         super().reset_state()

@@ -388,6 +388,10 @@ class FlashTranslationLayer(DeviceModel):
             self._program(logical_page, moved=False)
         waves = math.ceil(len(pages) / self.geometry.channels)
         latency = waves * self._program_ns + self._transfer_ns(nbytes)
+        if self.component_trace_enabled:
+            # The exact addends of the returned sum: program/transfer time vs
+            # the garbage-collection pause this write absorbed.
+            self.last_components = {"transfer": latency, "gc-pause": self._pending_gc_ns}
         return latency + self._pending_gc_ns
 
     def discard_latency_ns(self, offset_bytes: int, nbytes: int, rng: random.Random) -> float:

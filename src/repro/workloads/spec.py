@@ -318,6 +318,14 @@ class WorkloadEngine:
         op = flowop.op
         bytes_moved = 0
 
+        # Open the tracing span for this operation: every latency component
+        # charged below (CPU, queue wait, device service, flushes, GC) is
+        # attributed to this op type until the span closes.  Purely
+        # observational -- the latency math is identical with tracer=None.
+        tracer = vfs.tracer
+        if tracer is not None:
+            tracer.begin_op(op.value)
+
         if op is OpType.DELAY:
             vfs.idle(flowop.think_ns if flowop.think_ns else 1_000_000.0)
             latency = 0.0
@@ -400,6 +408,11 @@ class WorkloadEngine:
             latency = vfs.mkdir(path)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unsupported op type: {op}")
+
+        # Close the span before think time and engine overhead: neither is
+        # part of the op's measured latency, so neither may be attributed.
+        if tracer is not None:
+            tracer.end_op(latency)
 
         if flowop.think_ns and op is not OpType.DELAY:
             vfs.idle(flowop.think_ns)
