@@ -102,7 +102,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Experiment",

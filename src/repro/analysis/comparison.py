@@ -9,7 +9,7 @@ confidence intervals cannot support.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.analysis.regimes import Regime, classify_repetitions
 from repro.core.results import RepetitionSet, SweepResult

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.analysis.regimes import Regime, classify_run
+from repro.analysis.regimes import classify_run
 from repro.analysis.transition import find_transition
 from repro.core.results import RepetitionSet, SweepResult
 

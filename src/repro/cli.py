@@ -304,6 +304,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list registered filesystems, workloads, devices, schedulers and experiments",
     )
 
+    lint_cmd = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism contracts (snapshot completeness, "
+        "cache-key hygiene, wall-clock/entropy bans, protocol conformance)",
+    )
+    lint_cmd.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="source tree to analyze (default: the installed repro package)",
+    )
+    lint_cmd.add_argument(
+        "--config",
+        default=None,
+        metavar="PATH",
+        help="lint.toml with rule options and justified suppressions "
+        "(default: ./lint.toml, then <project>/lint.toml)",
+    )
+    lint_cmd.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="human table (default) or machine-readable JSON findings",
+    )
+
     axis_help = (
         "pin one grid axis (repeatable); every axis must resolve to a single "
         "value -- tracing explains exactly one cell"
@@ -633,6 +658,34 @@ def _run_list(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    """The ``lint`` subcommand: machine-check the determinism contracts."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import LintConfigError, run_lint
+
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    project_root = root
+    for ancestor in (root, *root.resolve().parents):
+        if (ancestor / "lint.toml").exists() or (ancestor / ".git").exists():
+            project_root = ancestor
+            break
+    config_path = Path(args.config) if args.config else None
+    if config_path is None:
+        for candidate in (Path.cwd() / "lint.toml", Path(project_root) / "lint.toml"):
+            if candidate.exists():
+                config_path = candidate
+                break
+    try:
+        report = run_lint(root, config_path=config_path, project_root=project_root)
+    except LintConfigError as error:
+        print(f"fsbench-rocket: lint config error: {error}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.format == "json" else report.to_table())
+    return report.exit_code
+
+
 def _run_experiment(args) -> int:
     """The ``run`` subcommand: declare a grid, stream progress, emit a frame."""
     axes = {}
@@ -865,6 +918,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "list":
         return _run_list(args)
+    if args.command == "lint":
+        return _run_lint(args)
     if args.command == "run":
         return _run_experiment(args)
     if args.command == "trace":

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.dimensions import Dimension, DimensionVector
 from repro.core.results import RepetitionSet
 from repro.core.runner import BenchmarkConfig, BenchmarkRunner
 from repro.storage.config import TestbedConfig

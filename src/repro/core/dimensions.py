@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, Iterable, List
 
 
 class Dimension(str, Enum):

@@ -64,7 +64,7 @@ from typing import (
 )
 
 from repro.core.benchmark import NanoBenchmark
-from repro.core.frame import ResultFrame, rows_for_run
+from repro.core.frame import ResultFrame
 from repro.core.parallel import (
     CacheStats,
     ParallelExecutor,

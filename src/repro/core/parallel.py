@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.persistence import load_run_result, save_run_result
 from repro.core.results import RepetitionSet, RunResult
 from repro.core.runner import BenchmarkConfig, run_single_repetition
+from repro.obs.metrics import MetricSource
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.spec import WorkloadSpec
 
@@ -272,7 +273,7 @@ def benchmark_units(
 
 # -------------------------------------------------------------- result cache
 @dataclass
-class CacheStats:
+class CacheStats(MetricSource):
     """Hit/miss/store counters of one :class:`ResultCache` instance."""
 
     hits: int = 0

@@ -16,7 +16,7 @@ everything needed by the analysis and reporting layers round-trips exactly.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, TextIO, Union
+from typing import Dict, Optional, TextIO, Union
 
 from repro.core.histogram import LatencyHistogram
 from repro.core.results import RepetitionSet, RunResult, SweepResult

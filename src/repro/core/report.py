@@ -10,12 +10,11 @@ declare winners the data cannot support.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.core.dimensions import Dimension
 from repro.core.histogram import LatencyHistogram
 from repro.core.results import RepetitionSet, SweepResult
-from repro.core.stats import overlapping_confidence_intervals, summarize
+from repro.core.stats import overlapping_confidence_intervals
 from repro.core.timeline import IntervalSeries
 
 

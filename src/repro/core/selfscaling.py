@@ -15,8 +15,8 @@ Section 3.1 of the paper was obtained.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.core.results import RepetitionSet, SweepResult
 from repro.core.runner import BenchmarkConfig, BenchmarkRunner

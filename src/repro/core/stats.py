@@ -27,7 +27,7 @@ import math
 import random
 import statistics
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)

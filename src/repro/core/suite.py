@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.benchmark import NanoBenchmark
-from repro.core.dimensions import Coverage, Dimension, DimensionVector
+from repro.core.dimensions import Dimension, DimensionVector
 from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.parallel import (
     ParallelExecutor,
@@ -33,7 +33,6 @@ from repro.fs.stack import DEFAULT_FS_TYPES
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.micro import (
     create_delete_workload,
-    metadata_mix_workload,
     random_read_workload,
     sequential_read_workload,
     stat_workload,

@@ -27,8 +27,8 @@ most defensible reading of the original and are marked ``reconstructed=True``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.dimensions import Coverage, Dimension, DimensionVector
 from repro.core.frame import ResultFrame

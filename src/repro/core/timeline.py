@@ -14,7 +14,7 @@ workload runs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.histogram import DEFAULT_BUCKETS, LatencyHistogram
 

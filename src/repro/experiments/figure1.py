@@ -15,7 +15,7 @@ paper's observations this harness must reproduce:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.fragility import FragilityReport, assess_sweep

@@ -14,7 +14,7 @@ printed next to the literature's usage counts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.core.dimensions import Dimension
 from repro.core.report import checks_line

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.analysis.transition import TransitionRegion, find_transition, refine_transition
 from repro.core.experiment import Experiment, ParameterGrid

@@ -30,12 +30,13 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.fs.base import NoSpaceError
+from repro.obs.metrics import MetricSource
 
 BlockRun = Tuple[int, int]  # (first_device_block, count)
 
 
 @dataclass
-class AllocatorStats:
+class AllocatorStats(MetricSource):
     """Counters shared by both allocator families."""
 
     allocations: int = 0
@@ -43,14 +44,6 @@ class AllocatorStats:
     blocks_allocated: int = 0
     blocks_freed: int = 0
     split_allocations: int = 0
-
-    def reset(self) -> None:
-        """Zero all counters."""
-        self.allocations = 0
-        self.frees = 0
-        self.blocks_allocated = 0
-        self.blocks_freed = 0
-        self.split_allocations = 0
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ import bisect
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.metrics import MetricSource
 from repro.storage.device import IORequest

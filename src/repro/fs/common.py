@@ -10,7 +10,6 @@ delalloc write path shared by the XFS and Ext4 models.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List, Optional, Tuple
 
 from repro.fs.base import (

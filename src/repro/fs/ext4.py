@@ -27,7 +27,7 @@ reservations early.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import List
 
 from repro.fs.allocation import MultiBlockAllocator
 from repro.fs.base import Inode, OperationCost

@@ -22,7 +22,7 @@ bandwidth without a full event-driven scheduler.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.fs.base import (

@@ -1,0 +1,72 @@
+"""The pluggable rule protocol and the fixed rule registry.
+
+A rule is a class with a stable id, a one-line contract statement, and a
+``check(index, config)`` generator yielding :class:`~repro.lint.model.Finding`
+objects.  Rules register themselves with :func:`register_rule`; the registry
+is the single source of truth the CLI, the docs table and the tests iterate.
+
+Adding a rule:
+
+1. subclass :class:`Rule` in a ``rules_*`` module, decorate with
+   ``@register_rule``;
+2. give it a fixed id (``FAMxxx`` -- ids are append-only, never reused);
+3. add a firing and a non-firing fixture case to ``tests/test_lint.py``;
+4. document the contract in ``docs/architecture.md`` section 9.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterator, List, Type
+
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, ProjectIndex
+
+#: Rule id -> rule class, in registration (i.e. documentation) order.
+RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+class Rule(ABC):
+    """One machine-checked determinism contract."""
+
+    #: Stable identifier, e.g. ``"DET001"``.  Append-only; never reused.
+    rule_id: str = ""
+    #: One-line statement of the contract the rule proves.
+    contract: str = ""
+
+    @abstractmethod
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``index``."""
+
+    def finding(
+        self,
+        module,
+        line: int,
+        symbol: str,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Convenience constructor stamping this rule's id."""
+        return Finding(
+            rule=self.rule_id,
+            path=module.rel,
+            line=line,
+            symbol=symbol,
+            message=message,
+            hint=hint,
+        )
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to :data:`RULE_REGISTRY`."""
+    if not cls.rule_id:
+        raise ValueError(f"rule {cls.__name__} has no rule_id")
+    if cls.rule_id in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    RULE_REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in registry order."""
+    return [cls() for cls in RULE_REGISTRY.values()]

@@ -1,0 +1,401 @@
+"""Determinism-hazard rules: wall clock, ambient entropy, set-order leaks.
+
+The paper's complaint is *unstated nondeterminism*; this repo's physics run
+entirely on a virtual clock and explicitly-seeded ``random.Random``
+instances.  These rules ban the leak paths back to ambient state:
+
+* **DET001** -- wall-clock / entropy APIs (``time.time``, ``datetime.now``,
+  ``os.urandom``, ``uuid.uuid4``, ``secrets.*``, ...).  Any of these makes a
+  measurement depend on when or where it ran.
+* **DET002** -- the module-level ``random.*`` functions.  They draw from one
+  hidden process-global generator, so results depend on every other draw in
+  the process; only explicit ``random.Random(seed)`` instances are allowed.
+* **DET003** -- iterating a ``set``/``frozenset`` where order can escape.
+  Set iteration order is randomized across interpreter runs (string hash
+  randomization), so a loop over a set that appends, writes, charges costs
+  or builds a list is a run-to-run divergence waiting to happen.  Iteration
+  is fine when the consumer is order-insensitive (``sorted``, ``sum``,
+  ``min``/``max``, ``any``/``all``, building another set).
+* **DET004** -- ``id()``.  CPython ids are addresses: keying, sorting or
+  branching on them imports allocator state into the measurement.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.base import Rule, register_rule
+from repro.lint.config import LintConfig
+from repro.lint.model import Finding, ModuleInfo, ProjectIndex, parent_of
+
+#: Fully-qualified callables whose results depend on wall-clock time or
+#: ambient entropy.  ``secrets.`` is matched as a prefix.
+WALL_CLOCK_AND_ENTROPY = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "random.SystemRandom",
+    }
+)
+
+ENTROPY_PREFIXES = ("secrets.",)
+
+#: Consumers for which iteration order provably cannot escape.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sum", "min", "max", "any", "all", "len", "set", "frozenset", "sorted"}
+)
+
+#: Calls that materialise their argument's iteration order.
+ORDER_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "reversed", "iter"})
+
+
+def _import_bindings(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the dotted import they stand for.
+
+    ``import time`` -> ``{"time": "time"}``; ``from datetime import datetime``
+    -> ``{"datetime": "datetime.datetime"}``; aliases follow the alias.
+    """
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bindings[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bindings[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return bindings
+
+
+def _resolve_call_name(node: ast.AST, bindings: Dict[str, str]) -> Optional[str]:
+    """Dotted name of a called expression with imports resolved."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = bindings.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def _enclosing_symbol(node: ast.AST) -> str:
+    """``Class.method`` / ``function`` / ``<module>`` context of a node."""
+    names = []
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.append(current.name)
+        current = parent_of(current)
+    return ".".join(reversed(names)) if names else "<module>"
+
+
+def _module_allowed(module: ModuleInfo, patterns) -> bool:
+    return any(
+        fnmatch(module.rel, pattern) or fnmatch(module.rel, f"*/{pattern}")
+        for pattern in patterns
+    )
+
+
+@register_rule
+class WallClockRule(Rule):
+    """No wall-clock or entropy API inside the simulation tree."""
+
+    rule_id = "DET001"
+    contract = (
+        "no wall-clock/entropy API (time.time, datetime.now, os.urandom, "
+        "uuid.uuid4, secrets.*) outside the configured allowlist"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for module in index.modules:
+            if _module_allowed(module, config.determinism_allow):
+                continue
+            bindings = _import_bindings(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _resolve_call_name(node.func, bindings)
+                if name is None:
+                    continue
+                if name in WALL_CLOCK_AND_ENTROPY or name.startswith(ENTROPY_PREFIXES):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{_enclosing_symbol(node)}",
+                        f"call to {name}() makes results depend on wall-clock "
+                        "time or ambient entropy",
+                        hint="charge the virtual clock / derive from the run's seed; "
+                        "or allowlist this file under [rules.determinism] allow",
+                    )
+
+
+@register_rule
+class GlobalRandomRule(Rule):
+    """Only explicit ``random.Random(seed)`` instances; never the module API."""
+
+    rule_id = "DET002"
+    contract = (
+        "no module-level random.* calls: all randomness flows from explicit, "
+        "seeded random.Random instances"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for module in index.modules:
+            if _module_allowed(module, config.determinism_allow):
+                continue
+            bindings = _import_bindings(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _resolve_call_name(node.func, bindings)
+                if name is None or not name.startswith("random."):
+                    continue
+                tail = name.split(".", 1)[1]
+                if tail in ("Random", "SystemRandom"):
+                    # Random(seed) is the sanctioned construction;
+                    # SystemRandom is DET001's finding, not a double report.
+                    continue
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{_enclosing_symbol(node)}",
+                    f"call to {name}() draws from the hidden process-global "
+                    "generator; results then depend on every other draw",
+                    hint="thread an explicit random.Random(seed) instance through",
+                )
+
+
+class _SetTypes:
+    """Per-module inference of which names/attributes hold sets."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.self_attrs: Dict[str, Set[str]] = {}  # class name -> set attrs
+        self._collect(module.tree)
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.AST) -> bool:
+        text = ast.dump(annotation)
+        return any(
+            marker in text
+            for marker in ("'Set'", "'set'", "'FrozenSet'", "'frozenset'", "'AbstractSet'")
+        )
+
+    def _is_set_literalish(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        return False
+
+    def _collect(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = self.self_attrs.setdefault(node.name, set())
+                for sub in ast.walk(node):
+                    target = None
+                    value: Optional[ast.AST] = None
+                    annotation = None
+                    if isinstance(sub, ast.AnnAssign):
+                        target, value, annotation = sub.target, sub.value, sub.annotation
+                    elif isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                        target, value = sub.targets[0], sub.value
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        if (annotation is not None and self._is_set_annotation(annotation)) or (
+                            value is not None and self._is_set_literalish(value)
+                        ):
+                            attrs.add(target.attr)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Stored on the node itself (like the parent links) so the
+                # lookup never keys a dict by object identity.
+                names: Set[str] = set()
+                node.lint_set_locals = names  # type: ignore[attr-defined]
+                arguments = node.args
+                for arg in (
+                    *arguments.posonlyargs,
+                    *arguments.args,
+                    *arguments.kwonlyargs,
+                ):
+                    if arg.annotation is not None and self._is_set_annotation(
+                        arg.annotation
+                    ):
+                        names.add(arg.arg)
+                for sub in node.body:
+                    for stmt in ast.walk(sub):
+                        target = None
+                        value = None
+                        annotation = None
+                        if isinstance(stmt, ast.AnnAssign):
+                            target, value, annotation = stmt.target, stmt.value, stmt.annotation
+                        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                            target, value = stmt.targets[0], stmt.value
+                        if isinstance(target, ast.Name):
+                            if (
+                                annotation is not None and self._is_set_annotation(annotation)
+                            ) or (value is not None and self._is_set_literalish(value)):
+                                names.add(target.id)
+
+    # ---------------------------------------------------------------- query
+    def _enclosing(self, node: ast.AST):
+        func = None
+        cls = None
+        current = parent_of(node)
+        while current is not None:
+            if func is None and isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func = current
+            if cls is None and isinstance(current, ast.ClassDef):
+                cls = current
+            current = parent_of(current)
+        return func, cls
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            # s.difference(...), s.union(...): still a set if the receiver is.
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "difference",
+                "union",
+                "intersection",
+                "symmetric_difference",
+                "copy",
+            ):
+                return self.is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.Name):
+            func, _ = self._enclosing(node)
+            return func is not None and node.id in getattr(func, "lint_set_locals", ())
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            _, cls = self._enclosing(node)
+            return cls is not None and node.attr in self.self_attrs.get(cls.name, set())
+        return False
+
+
+def _comprehension_consumer(node: ast.AST) -> Optional[str]:
+    """Name of the call directly consuming a comprehension/genexp, if any."""
+    parent = parent_of(node)
+    if isinstance(parent, ast.Call) and isinstance(parent.func, ast.Name):
+        if node in parent.args:
+            return parent.func.id
+    return None
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Set iteration order must not escape into ordering-sensitive code."""
+
+    rule_id = "DET003"
+    contract = (
+        "no iteration over set/frozenset values where order can escape "
+        "(hash randomization makes it differ across interpreter runs)"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for module in index.modules:
+            if _module_allowed(module, config.determinism_allow):
+                continue
+            types = _SetTypes(module)
+            for node in ast.walk(module.tree):
+                yield from self._check_node(module, types, node)
+
+    def _check_node(self, module, types: _SetTypes, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.For) and types.is_set_expr(node.iter):
+            yield self._finding(module, node.iter, "for-loop body")
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            # A set comprehension rebuilds a set: order cannot escape it.
+            consumer = _comprehension_consumer(node)
+            if consumer in ORDER_INSENSITIVE_CONSUMERS:
+                return
+            for generator in node.generators:
+                if types.is_set_expr(generator.iter):
+                    what = {
+                        ast.ListComp: "list comprehension",
+                        ast.DictComp: "dict comprehension",
+                        ast.GeneratorExp: f"generator consumed by {consumer or 'unknown code'}",
+                    }[type(node)]
+                    yield self._finding(module, generator.iter, what)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ORDER_MATERIALIZERS
+            and node.args
+            and types.is_set_expr(node.args[0])
+        ):
+            yield self._finding(module, node.args[0], f"{node.func.id}()")
+
+    def _finding(self, module, node: ast.AST, sink: str) -> Finding:
+        return self.finding(
+            module,
+            node.lineno,
+            _enclosing_symbol(node),
+            f"iteration over a set feeds {sink}; set order is randomized "
+            "across interpreter runs",
+            hint="wrap the set in sorted(...) (or restructure so only "
+            "order-insensitive reductions see it)",
+        )
+
+
+@register_rule
+class IdKeyRule(Rule):
+    """``id()`` results (memory addresses) must not enter the computation."""
+
+    rule_id = "DET004"
+    contract = "no use of id(): object addresses vary across runs and processes"
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for module in index.modules:
+            if _module_allowed(module, config.determinism_allow):
+                continue
+            shadowed = {
+                target.id
+                for node in ast.walk(module.tree)
+                if isinstance(node, ast.Assign)
+                for target in node.targets
+                if isinstance(target, ast.Name) and target.id == "id"
+            }
+            if "id" in shadowed:
+                continue  # a local rebinding; not the builtin
+            for node in ast.walk(module.tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "id"
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        _enclosing_symbol(node),
+                        "id() returns a memory address: keying or ordering by it "
+                        "imports allocator state into the result",
+                        hint="key by a stable identity (name, number, explicit counter)",
+                    )

@@ -1,0 +1,292 @@
+"""Protocol-conformance rules: registries and stats holders honour the
+surfaces the observability layer wires blindly.
+
+``StorageStack.metrics_registry()`` registers every layer's ``stats`` object
+behind one :class:`repro.obs.metrics.MetricSource` surface, and
+``StorageStack.attach_tracer()`` pokes hook attributes
+(``component_trace_enabled``, ``last_components``, ``journal.tracer``)
+directly into whatever model the registries produced.  Both are duck-typed:
+a new device model or stats holder that misses a hook fails only at runtime,
+and only on the code path that exercises the hook.  These rules move that
+failure to lint time.
+
+* **PROTO001** -- every mutable ``*Stats`` dataclass adopts ``MetricSource``
+  (frozen ``*Stats`` dataclasses are immutable summaries, not counters, and
+  are exempt by design).
+* **PROTO002** -- every ``DEVICE_REGISTRY`` entry resolves to a model class
+  whose MRO defines the hooks the stack wires on ``device.model``:
+  ``stats``, ``component_trace_enabled``, ``last_components``.
+* **PROTO003** -- every ``FS_REGISTRY`` entry resolves to a file-system
+  class defining ``stats``; if its ``__init__`` mounts a ``journal``/``log``,
+  that class must define the tracer hook and journal geometry
+  (``tracer``, ``start_block``, ``size_blocks``, ``block_size``) that
+  ``attach_tracer`` reads to classify device requests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.base import Rule, register_rule
+from repro.lint.config import LintConfig
+from repro.lint.model import (
+    ClassInfo,
+    Finding,
+    ModuleInfo,
+    ProjectIndex,
+    _dotted_tail,
+)
+
+DEVICE_MODEL_HOOKS: Tuple[str, ...] = (
+    "stats",
+    "component_trace_enabled",
+    "last_components",
+)
+JOURNAL_HOOKS: Tuple[str, ...] = ("tracer", "start_block", "size_blocks", "block_size")
+STATS_PROTOCOL = "MetricSource"
+
+
+# --------------------------------------------------------------- resolution
+def _find_registry(
+    index: ProjectIndex, name: str
+) -> Optional[Tuple[ModuleInfo, ast.Dict]]:
+    for module in index.modules:
+        for node in module.tree.body:
+            targets: List[ast.expr] = []
+            value: Optional[ast.AST] = None
+            if isinstance(node, ast.Assign):
+                targets, value = list(node.targets), node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], node.value
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == name
+                    and isinstance(value, ast.Dict)
+                ):
+                    return module, value
+    return None
+
+
+def _module_function(module: ModuleInfo, name: str) -> Optional[ast.FunctionDef]:
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _call_class_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Call):
+        tail = _dotted_tail(node.func)
+        return tail or None
+    return None
+
+
+def _factory_class_name(module: ModuleInfo, factory: ast.AST) -> Optional[str]:
+    """Class constructed by a registry factory expression.
+
+    Handles the two shapes the registries use: inline lambdas returning a
+    constructor call, and module-level helper functions whose ``return``
+    is either a constructor call or a name assigned from one earlier in the
+    function body (the ``_ftl_steady`` memoisation pattern).
+    """
+    if isinstance(factory, ast.Lambda):
+        return _call_class_name(factory.body)
+    if isinstance(factory, ast.Name):
+        func = _module_function(module, factory.id)
+        if func is None:
+            return None
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and node.value is not None:
+                direct = _call_class_name(node.value)
+                if direct is not None:
+                    return direct
+                if isinstance(node.value, ast.Name):
+                    return _last_assigned_call(func, node.value.id)
+    return _call_class_name(factory)
+
+
+def _last_assigned_call(func: ast.FunctionDef, name: str) -> Optional[str]:
+    result: Optional[str] = None
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    called = _call_class_name(node.value)
+                    if called is not None:
+                        result = called
+    return result
+
+
+def _mounted_journal_class(
+    index: ProjectIndex, info: ClassInfo
+) -> Optional[Tuple[str, ClassInfo]]:
+    """``(attr, class)`` of the journal/log the file system mounts, if any."""
+    for ancestor in index.mro(info):
+        init = ancestor.methods.get("__init__")
+        if init is None:
+            continue
+        for node in ast.walk(init):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in ("journal", "log")
+                ):
+                    class_name = _call_class_name(node.value)
+                    if class_name is None:
+                        continue
+                    resolved = index.find_class(class_name, near=ancestor.module)
+                    if resolved is not None:
+                        return target.attr, resolved
+    return None
+
+
+def _adopts_protocol(index: ProjectIndex, info: ClassInfo, protocol: str) -> bool:
+    for ancestor in index.mro(info):
+        if ancestor.name == protocol or protocol in ancestor.base_names:
+            return True
+    return False
+
+
+# -------------------------------------------------------------------- rules
+@register_rule
+class StatsProtocolRule(Rule):
+    """Mutable ``*Stats`` dataclasses adopt the ``MetricSource`` protocol."""
+
+    rule_id = "PROTO001"
+    contract = (
+        "every mutable *Stats dataclass adopts MetricSource so "
+        "metrics_registry() can snapshot and reset it uniformly"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for info in index.iter_classes():
+            if not info.name.endswith("Stats") or not info.is_dataclass:
+                continue
+            if info.is_frozen_dataclass:
+                continue  # immutable summary document, not a live counter set
+            if _adopts_protocol(index, info, STATS_PROTOCOL):
+                continue
+            yield self.finding(
+                info.module,
+                info.node.lineno,
+                info.name,
+                f"{info.name} is a mutable stats dataclass but does not adopt "
+                f"{STATS_PROTOCOL}, so it has no uniform snapshot()/reset() "
+                "surface",
+                hint=f"inherit {STATS_PROTOCOL} (and drop any hand-written "
+                "reset()); freeze the dataclass instead if it is a summary",
+            )
+
+
+@register_rule
+class DeviceRegistryHooksRule(Rule):
+    """Device models define the hooks ``attach_tracer`` wires."""
+
+    rule_id = "PROTO002"
+    contract = (
+        "every DEVICE_REGISTRY entry's model defines stats, "
+        "component_trace_enabled and last_components"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        located = _find_registry(index, "DEVICE_REGISTRY")
+        if located is None:
+            return
+        module, registry = located
+        for key, value in zip(registry.keys, registry.values):
+            entry = (
+                key.value if isinstance(key, ast.Constant) else ast.dump(key)
+            )
+            class_name = _factory_class_name(module, value)
+            if class_name is None:
+                yield self.finding(
+                    module,
+                    value.lineno,
+                    f"DEVICE_REGISTRY[{entry!r}]",
+                    f"cannot statically resolve the model class built for "
+                    f"device kind {entry!r}",
+                    hint="keep registry factories as lambdas or helpers that "
+                    "return a direct constructor call",
+                )
+                continue
+            info = index.find_class(class_name, near=module)
+            if info is None:
+                continue  # constructor defined outside the scanned tree
+            for hook in DEVICE_MODEL_HOOKS:
+                if index.mro_defines_attr(info, hook) is None:
+                    yield self.finding(
+                        module,
+                        value.lineno,
+                        f"DEVICE_REGISTRY[{entry!r}].{hook}",
+                        f"device model {class_name} (kind {entry!r}) does not "
+                        f"define '{hook}', which StorageStack.attach_tracer/"
+                        "metrics_registry wires unconditionally",
+                        hint=f"define '{hook}' on {class_name} or a base class",
+                    )
+
+
+@register_rule
+class FsRegistryHooksRule(Rule):
+    """File systems define the stats/journal hooks the stack wires."""
+
+    rule_id = "PROTO003"
+    contract = (
+        "every FS_REGISTRY entry's class defines stats, and any mounted "
+        "journal/log defines the tracer hook and journal geometry"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        located = _find_registry(index, "FS_REGISTRY")
+        if located is None:
+            return
+        module, registry = located
+        for key, value in zip(registry.keys, registry.values):
+            entry = (
+                key.value if isinstance(key, ast.Constant) else ast.dump(key)
+            )
+            class_name = _factory_class_name(module, value)
+            if class_name is None:
+                yield self.finding(
+                    module,
+                    value.lineno,
+                    f"FS_REGISTRY[{entry!r}]",
+                    f"cannot statically resolve the file-system class built "
+                    f"for {entry!r}",
+                    hint="keep registry factories as lambdas returning a "
+                    "direct constructor call",
+                )
+                continue
+            info = index.find_class(class_name, near=module)
+            if info is None:
+                continue
+            if index.mro_defines_attr(info, "stats") is None:
+                yield self.finding(
+                    module,
+                    value.lineno,
+                    f"FS_REGISTRY[{entry!r}].stats",
+                    f"file system {class_name} ({entry!r}) does not define "
+                    "'stats', which metrics_registry() registers "
+                    "unconditionally",
+                    hint=f"define 'stats' on {class_name} or a base class",
+                )
+            mounted = _mounted_journal_class(index, info)
+            if mounted is None:
+                continue
+            attr, journal = mounted
+            for hook in JOURNAL_HOOKS:
+                if index.mro_defines_attr(journal, hook) is None:
+                    yield self.finding(
+                        journal.module,
+                        journal.node.lineno,
+                        f"{class_name}.{attr}.{hook}",
+                        f"{journal.name} (mounted as {class_name}.{attr}) does "
+                        f"not define '{hook}', which attach_tracer reads to "
+                        "wire tracing and classify journal requests",
+                        hint=f"define '{hook}' on {journal.name}",
+                    )

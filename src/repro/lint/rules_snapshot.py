@@ -1,0 +1,268 @@
+"""Snapshot-completeness rules: exported state must cover mutable state.
+
+:func:`repro.aging.snapshot.snapshot_stack` serialises the stack by asking
+each stateful layer for its ``export_state()`` (or, for allocators,
+``export_free_state()``) document.  The golden-hash tests prove that a
+*particular* snapshot round-trips bit-identically; these rules prove the
+structural half the hashes cannot: that every mutable attribute a
+participating class creates in ``__init__`` is either part of its
+export/restore pair or explicitly annotated ``# lint: ephemeral``.
+
+Without this check, adding ``self._new_cursor = 0`` to the FTL (say) and
+forgetting the export hook silently reintroduces the paper's hidden state:
+snapshots of two differently-used devices would compare equal and share a
+cache key while behaving differently.
+
+* **SNAP001** -- for every class whose MRO defines an export/restore pair,
+  each mutable ``__init__``-assigned attribute (transitively through
+  ``self._init_*()`` helpers and ``super().__init__``) must be referenced in
+  the export or restore body, or carry ``# lint: ephemeral``.
+* **SNAP002** -- the classes ``snapshot_stack`` relies on (configured under
+  ``[rules.snapshot] required``) must actually define the pair; a rename or
+  refactor cannot silently drop a layer out of the contract.
+
+"Mutable" is decided statically: the attribute is re-assigned in some other
+method, or its initial value is a mutable container (literal, comprehension,
+``list``/``dict``/``set``/``bytearray``/``deque`` call, or a list-building
+``+``/``*`` expression).  Plain config scalars assigned once from
+constructor parameters are not state and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import Rule, register_rule
+from repro.lint.config import LintConfig
+from repro.lint.model import ClassInfo, Finding, ProjectIndex
+
+#: Recognised export/restore method pairs, in precedence order.
+STATE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("export_state", "restore_state"),
+    ("export_free_state", "restore_free_state"),
+)
+
+MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+
+@dataclass
+class _AttrOrigin:
+    """Where an ``__init__``-path attribute assignment happened."""
+
+    owner: ClassInfo
+    lineno: int
+    value: Optional[ast.AST]
+
+
+def _is_mutable_container(node: Optional[ast.AST]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_CONSTRUCTORS
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Mult)):
+        return _is_mutable_container(node.left) or _is_mutable_container(node.right)
+    return False
+
+
+def _self_attr_assignments(func: ast.FunctionDef) -> List[Tuple[str, int, Optional[ast.AST]]]:
+    out: List[Tuple[str, int, Optional[ast.AST]]] = []
+    for node in ast.walk(func):
+        targets: List[Tuple[ast.expr, Optional[ast.AST]]] = []
+        if isinstance(node, ast.Assign):
+            targets = [(target, node.value) for target in node.targets]
+        elif isinstance(node, ast.AnnAssign):
+            targets = [(node.target, node.value)]
+        elif isinstance(node, ast.AugAssign):
+            targets = [(node.target, None)]
+        for target, value in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                out.append((target.attr, node.lineno, value))
+    return out
+
+
+def _self_method_calls(func: ast.FunctionDef) -> Set[str]:
+    """Names of ``self.<method>()`` calls made anywhere in ``func``."""
+    calls: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            calls.add(node.func.attr)
+    return calls
+
+
+def _self_attr_references(func: ast.FunctionDef) -> Set[str]:
+    """Every ``self.<attr>`` read or written in ``func``."""
+    refs: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            refs.add(node.attr)
+    return refs
+
+
+class _ClassStateModel:
+    """Init-path attribute map and export coverage for one participant."""
+
+    def __init__(self, index: ProjectIndex, info: ClassInfo, pair: Tuple[str, str]) -> None:
+        self.index = index
+        self.info = info
+        self.pair = pair
+        self.mro = index.mro(info)
+        self.init_attrs: Dict[str, _AttrOrigin] = {}
+        self.init_method_names: Set[str] = set()
+        self.reassigned_elsewhere: Set[str] = set()
+        self.covered: Set[str] = set()
+        self._build()
+
+    # ------------------------------------------------------------ building
+    def _init_chain(self) -> List[Tuple[ClassInfo, ast.FunctionDef]]:
+        """Every ``__init__`` in the MRO plus the ``self._helper()`` methods
+        those inits call (the FTL's ``_init_mapping`` pattern)."""
+        chain: List[Tuple[ClassInfo, ast.FunctionDef]] = []
+        visited: Set[Tuple[str, str]] = set()
+        queue: List[Tuple[ClassInfo, str]] = [
+            (owner, "__init__") for owner in self.mro if "__init__" in owner.methods
+        ]
+        while queue:
+            owner, method_name = queue.pop(0)
+            key = (owner.name, method_name)
+            if key in visited:
+                continue
+            visited.add(key)
+            func = owner.methods.get(method_name)
+            if func is None:
+                continue
+            chain.append((owner, func))
+            for called in sorted(_self_method_calls(func)):
+                target = self._resolve_method_owner(called)
+                if target is not None:
+                    queue.append((target, called))
+        return chain
+
+    def _resolve_method_owner(self, method_name: str) -> Optional[ClassInfo]:
+        for owner in self.mro:
+            if method_name in owner.methods:
+                return owner
+        return None
+
+    def _build(self) -> None:
+        chain = self._init_chain()
+        self.init_method_names = {func.name for _, func in chain}
+        for owner, func in chain:
+            for attr, lineno, value in _self_attr_assignments(func):
+                origin = self.init_attrs.get(attr)
+                if origin is None or _is_mutable_container(value):
+                    self.init_attrs[attr] = _AttrOrigin(owner=owner, lineno=lineno, value=value)
+
+        export_name, restore_name = self.pair
+        for owner in self.mro:
+            for method_name, func in owner.methods.items():
+                if method_name in (export_name, restore_name):
+                    self.covered |= _self_attr_references(func)
+                elif method_name not in self.init_method_names:
+                    for attr, _, _ in _self_attr_assignments(func):
+                        self.reassigned_elsewhere.add(attr)
+
+    # ------------------------------------------------------------- queries
+    def mutable_attrs(self) -> List[Tuple[str, _AttrOrigin]]:
+        out = []
+        for attr, origin in sorted(self.init_attrs.items()):
+            if attr in self.reassigned_elsewhere or _is_mutable_container(origin.value):
+                out.append((attr, origin))
+        return out
+
+
+def _state_pair_of(index: ProjectIndex, info: ClassInfo) -> Optional[Tuple[str, str]]:
+    for export_name, restore_name in STATE_PAIRS:
+        has_export = index.mro_defines_method(info, export_name) is not None
+        has_restore = index.mro_defines_method(info, restore_name) is not None
+        if has_export and has_restore:
+            return (export_name, restore_name)
+    return None
+
+
+@register_rule
+class SnapshotCompletenessRule(Rule):
+    """Exported state covers every mutable ``__init__`` attribute."""
+
+    rule_id = "SNAP001"
+    contract = (
+        "every mutable attribute a snapshot participant assigns on the "
+        "__init__ path is referenced by its export/restore pair or marked "
+        "# lint: ephemeral"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for info in index.iter_classes():
+            pair = _state_pair_of(index, info)
+            if pair is None:
+                continue
+            # Only report against classes that actually construct state; a
+            # mixin holding just the pair has no __init__ path of its own.
+            model = _ClassStateModel(index, info, pair)
+            for attr, origin in model.mutable_attrs():
+                if attr in model.covered:
+                    continue
+                if origin.owner.module.is_ephemeral(origin.lineno):
+                    continue
+                # Report on the most-derived class so one base-class miss
+                # surfaces once per concrete participant that inherits it.
+                yield self.finding(
+                    origin.owner.module,
+                    origin.lineno,
+                    f"{info.name}.{attr}",
+                    f"mutable attribute self.{attr} (assigned in "
+                    f"{origin.owner.name}.{'/'.join(sorted(model.init_method_names))}) "
+                    f"is not referenced by {pair[0]}/{pair[1]}",
+                    hint="export it (and restore it), or annotate the assignment "
+                    "with `# lint: ephemeral (reason)` if it is rebuilt or "
+                    "observational",
+                )
+
+
+@register_rule
+class SnapshotParticipationRule(Rule):
+    """The layers ``snapshot_stack`` serialises must define the pair."""
+
+    rule_id = "SNAP002"
+    contract = (
+        "every class named in [rules.snapshot] required defines an "
+        "export/restore state pair"
+    )
+
+    def check(self, index: ProjectIndex, config: LintConfig) -> Iterator[Finding]:
+        for name in config.snapshot_required:
+            candidates = index.find_classes(name)
+            if not candidates:
+                # Absent classes are only a violation when the scanned tree
+                # is the one that declares them (partial scans in tests).
+                continue
+            for info in candidates:
+                if _state_pair_of(index, info) is None:
+                    yield self.finding(
+                        info.module,
+                        info.node.lineno,
+                        info.name,
+                        f"{name} participates in stack snapshots but defines no "
+                        "export_state/restore_state (or export_free_state/"
+                        "restore_free_state) pair",
+                        hint="add the pair, or suppress with a reason naming where "
+                        "its state is serialised instead",
+                    )

@@ -23,10 +23,10 @@ Figure-1 experiment across these policies to show how much of the published
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Set, Tuple
 
 from repro.obs.metrics import MetricSource
 
@@ -382,6 +382,7 @@ class PageCache:
             raise ValueError("capacity_pages must be non-negative")
         if page_size <= 0:
             raise ValueError("page_size must be positive")
+        # lint: ephemeral -- geometry, rebuilt from the testbed on restore
         self.capacity_pages = int(capacity_pages)
         self.page_size = int(page_size)
         self.policy_name = CachePolicy(policy)
@@ -469,8 +470,13 @@ class PageCache:
         self._dirty.discard(key)
 
     def dirty_keys(self) -> List[PageKey]:
-        """Snapshot of the currently dirty page keys."""
-        return list(self._dirty)
+        """Snapshot of the currently dirty page keys, in (inode, page) order.
+
+        Sorted, not set order: callers write these pages back, so the order
+        reaches the device request stream and must not depend on hash-table
+        layout.
+        """
+        return sorted(self._dirty)
 
     def invalidate(self, key: PageKey) -> bool:
         """Drop a single page; returns True if it was resident."""
@@ -484,7 +490,7 @@ class PageCache:
 
     def invalidate_inode(self, inode_number: int) -> int:
         """Drop every page of one file; returns the number of pages dropped."""
-        victims = [key for key in self._resident if key[0] == inode_number]
+        victims = sorted(key for key in self._resident if key[0] == inode_number)
         for key in victims:
             self._resident.remove(key)
             self._dirty.discard(key)

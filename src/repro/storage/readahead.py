@@ -21,8 +21,8 @@ Two mechanisms are modelled, mirroring real kernels:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ not enough.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.workloads.fileset import FilesetSpec
 from repro.workloads.micro import (

@@ -13,7 +13,6 @@ released system needs:
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, TextIO, Union
 

@@ -26,7 +26,6 @@ from repro.aging import (
     TraceAger,
     load_snapshot,
     measure_fragmentation,
-    quick_aging_config,
     restore_stack,
     run_aged_vs_fresh,
     save_snapshot,

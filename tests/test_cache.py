@@ -2,15 +2,7 @@
 
 import pytest
 
-from repro.storage.cache import (
-    ARCPolicy,
-    CachePolicy,
-    ClockPolicy,
-    LRUPolicy,
-    PageCache,
-    TwoQPolicy,
-    make_cache,
-)
+from repro.storage.cache import CachePolicy, PageCache, make_cache
 
 
 def fill(cache: PageCache, count: int, inode: int = 1):

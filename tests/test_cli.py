@@ -3,7 +3,6 @@
 import pytest
 
 import repro.cli as cli
-from repro.experiments.config import quick_scale
 
 
 class TestParser:

@@ -22,7 +22,6 @@ import hashlib
 import io
 import json
 import random
-from dataclasses import replace
 
 import pytest
 

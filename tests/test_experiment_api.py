@@ -19,11 +19,11 @@ import pytest
 
 import repro.cli as cli
 from repro.core.benchmark import NanoBenchmark
-from repro.core.experiment import Experiment, ExperimentResult, ParameterGrid
+from repro.core.experiment import Experiment, ParameterGrid
 from repro.core.frame import ResultFrame, rows_for_run, run_metrics
-from repro.core.parallel import ResultCache, group_label
+from repro.core.parallel import group_label
 from repro.core.persistence import run_result_to_dict
-from repro.core.runner import BenchmarkConfig, EnvironmentNoise, WarmupMode
+from repro.core.runner import BenchmarkConfig, WarmupMode
 from repro.core.suite import NanoBenchmarkSuite
 from repro.storage.config import scaled_testbed
 from repro.workloads.micro import random_read_workload, stat_workload

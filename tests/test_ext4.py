@@ -33,13 +33,12 @@ from repro.aging import (
 )
 from repro.core.benchmark import NanoBenchmark
 from repro.core.dimensions import Dimension, DimensionVector
-from repro.core.parallel import ParallelExecutor, cache_key
+from repro.core.parallel import cache_key
 from repro.core.persistence import run_result_to_dict
 from repro.core.runner import BenchmarkConfig, WarmupMode, run_single_repetition
 from repro.core.suite import NanoBenchmarkSuite
 from repro.core.survey import MeasuredSurvey
 from repro.fs.allocation import BlockGroupAllocator, MultiBlockAllocator
-from repro.fs.ext2 import Ext2FileSystem
 from repro.fs.ext3 import JournalMode
 from repro.fs.ext4 import Ext4FileSystem
 from repro.fs.journal import Journal

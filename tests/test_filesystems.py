@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.fs.base import Inode
 from repro.fs.ext2 import Ext2FileSystem
 from repro.fs.ext3 import Ext3FileSystem, JournalMode
 from repro.fs.ext4 import Ext4FileSystem

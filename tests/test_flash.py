@@ -15,7 +15,6 @@ from repro.fs.stack import build_stack
 from repro.storage.config import (
     DEVICE_REGISTRY,
     TestbedConfig,
-    paper_testbed,
     scaled_testbed,
     ssd_ftl_testbed,
     ssd_testbed,

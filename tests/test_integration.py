@@ -12,7 +12,6 @@ from repro.analysis.regimes import Regime, classify_repetitions
 from repro.analysis.transition import find_transition
 from repro.core.results import SweepResult
 from repro.core.runner import BenchmarkConfig, BenchmarkRunner, EnvironmentNoise, WarmupMode
-from repro.core.stats import summarize
 from repro.fs.stack import build_stack
 from repro.storage.cache import CachePolicy
 from repro.storage.config import scaled_testbed

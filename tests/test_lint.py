@@ -1,0 +1,583 @@
+"""Tests for the determinism-contract static analyzer (repro.lint).
+
+Two halves:
+
+* synthetic known-bad fixtures, one firing and one non-firing case per rule,
+  written to ``tmp_path`` and linted in isolation -- these prove each rule
+  actually detects the defect class it claims to (deleting an exported
+  attribute, adding an unclassified ``BenchmarkConfig`` field, introducing
+  ``time.time()``, ...);
+* the self-check: ``src/repro`` lints clean at HEAD under the repository's
+  own ``lint.toml``, with every suppression used.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    LintConfigError,
+    ProjectIndex,
+    RULE_REGISTRY,
+    load_config,
+    run_lint,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# ----------------------------------------------------------------- helpers
+def lint_source(tmp_path: Path, source: str, config: LintConfig = None, name: str = "mod.py"):
+    """Lint one synthetic module and return the findings of all rules."""
+    tree = tmp_path / "proj"
+    tree.mkdir(exist_ok=True)
+    (tree / name).write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint_tree(tree, config)
+
+
+def lint_tree(tree: Path, config: LintConfig = None):
+    config = config if config is not None else LintConfig()
+    index = ProjectIndex(tree, project_root=tree.parent)
+    findings = list(index.errors)
+    for rule_cls in RULE_REGISTRY.values():
+        findings.extend(rule_cls().check(index, config))
+    return findings
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+# ------------------------------------------------------- registry contract
+def test_registry_has_all_documented_rules():
+    expected = {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "SNAP001",
+        "SNAP002",
+        "KEY001",
+        "PROTO001",
+        "PROTO002",
+        "PROTO003",
+    }
+    assert expected <= set(RULE_REGISTRY)
+    for rule_id, rule_cls in RULE_REGISTRY.items():
+        assert rule_cls.rule_id == rule_id
+        assert rule_cls.contract, f"{rule_id} has no contract statement"
+
+
+# ------------------------------------------------------------- determinism
+def test_det001_fires_on_wall_clock(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def measure():
+            return time.time()
+        """,
+    )
+    det = [finding for finding in findings if finding.rule == "DET001"]
+    assert len(det) == 1
+    assert "time.time" in det[0].message
+    assert det[0].line == 5
+
+
+def test_det001_fires_on_datetime_now_and_urandom(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import os
+        from datetime import datetime
+
+        def stamp():
+            return datetime.now(), os.urandom(8)
+        """,
+    )
+    assert sum(1 for finding in findings if finding.rule == "DET001") == 2
+
+
+def test_det001_silent_on_virtual_clock(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class VirtualClock:
+            def __init__(self):
+                self._now_ns = 0.0
+
+            def now_ns(self):
+                return self._now_ns
+        """,
+    )
+    assert "DET001" not in rules_of(findings)
+
+
+def test_det001_respects_allowlist(tmp_path):
+    config = LintConfig(determinism_allow=["proj/wallclock.py"])
+    findings = lint_source(
+        tmp_path,
+        """
+        import time
+
+        def hosttime():
+            return time.time()
+        """,
+        config=config,
+        name="wallclock.py",
+    )
+    assert "DET001" not in rules_of(findings)
+
+
+def test_det002_fires_on_module_level_random(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def pick(items):
+            return random.choice(items)
+        """,
+    )
+    assert "DET002" in rules_of(findings)
+
+
+def test_det002_silent_on_seeded_instance(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        import random
+
+        def pick(items, seed):
+            rng = random.Random(seed)
+            return rng.choice(items)
+        """,
+    )
+    assert "DET002" not in rules_of(findings)
+
+
+def test_det003_fires_on_set_iteration(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def keys(resident: set):
+            return list(resident)
+        """,
+    )
+    assert "DET003" in rules_of(findings)
+
+
+def test_det003_silent_on_sorted_and_reductions(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def keys(resident: set):
+            total = sum(1 for key in resident)
+            return sorted(resident), total
+        """,
+    )
+    assert "DET003" not in rules_of(findings)
+
+
+def test_det004_fires_on_id_keyed_dict(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        def index(objs):
+            table = {}
+            for obj in objs:
+                table[id(obj)] = obj
+            return table
+        """,
+    )
+    assert "DET004" in rules_of(findings)
+
+
+# ---------------------------------------------------------------- snapshot
+SNAPSHOT_CLASS = """
+class Journalish:
+    def __init__(self):
+        self.block_size = 4096
+        self._head = 0
+        self._pending = []
+
+    def advance(self):
+        self._head += 1
+
+    def export_state(self):
+        return {"head": self._head, "pending": list(self._pending)}
+
+    def restore_state(self, data):
+        self._head = int(data["head"])
+        self._pending = list(data["pending"])
+"""
+
+
+def test_snap001_silent_when_state_is_covered(tmp_path):
+    findings = lint_source(tmp_path, SNAPSHOT_CLASS)
+    assert "SNAP001" not in rules_of(findings)
+
+
+def test_snap001_fires_when_export_attr_deleted(tmp_path):
+    # The acceptance scenario: drop _pending from the export/restore pair.
+    broken = SNAPSHOT_CLASS.replace(', "pending": list(self._pending)', "").replace(
+        '        self._pending = list(data["pending"])\n', ""
+    )
+    findings = lint_source(tmp_path, broken)
+    snap = [finding for finding in findings if finding.rule == "SNAP001"]
+    assert len(snap) == 1
+    assert snap[0].symbol == "Journalish._pending"
+    assert "export_state/restore_state" in snap[0].message
+
+
+def test_snap001_honours_ephemeral_annotation(tmp_path):
+    broken = SNAPSHOT_CLASS.replace(', "pending": list(self._pending)', "").replace(
+        '        self._pending = list(data["pending"])\n', ""
+    )
+    annotated = broken.replace(
+        "self._pending = []",
+        "self._pending = []  # lint: ephemeral -- rebuilt on replay",
+    )
+    findings = lint_source(tmp_path, annotated)
+    assert "SNAP001" not in rules_of(findings)
+
+
+def test_snap001_sees_through_init_helpers_and_bases(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class Base:
+            def __init__(self):
+                self._init_mapping()
+
+            def _init_mapping(self):
+                self._l2p = {}
+
+        class Ftlish(Base):
+            def __init__(self):
+                super().__init__()
+                self._erases = [0] * 8
+
+            def export_state(self):
+                return {"erases": list(self._erases)}
+
+            def restore_state(self, data):
+                self._erases = list(data["erases"])
+        """,
+    )
+    snap = [finding for finding in findings if finding.rule == "SNAP001"]
+    assert [finding.symbol for finding in snap] == ["Ftlish._l2p"]
+
+
+def test_snap002_fires_for_required_class_without_pair(tmp_path):
+    config = LintConfig(snapshot_required=("Clockish",))
+    findings = lint_source(
+        tmp_path,
+        """
+        class Clockish:
+            def __init__(self):
+                self._now = 0.0
+
+            def advance(self, dt):
+                self._now += dt
+        """,
+        config=config,
+    )
+    snap = [finding for finding in findings if finding.rule == "SNAP002"]
+    assert len(snap) == 1 and snap[0].symbol == "Clockish"
+
+
+def test_snap002_silent_when_pair_exists(tmp_path):
+    config = LintConfig(snapshot_required=("Journalish",))
+    findings = lint_source(tmp_path, SNAPSHOT_CLASS, config=config)
+    assert "SNAP002" not in rules_of(findings)
+
+
+# --------------------------------------------------------------- cache key
+CACHE_KEY_FIXTURE = """
+from dataclasses import dataclass, replace
+
+
+@dataclass
+class BenchmarkConfig:
+    duration_s: float = 1.0
+    seed: int = 0
+    repetitions: int = 1
+    clients: int = 1
+    trace: bool = False
+
+
+def _canonical(value):
+    return dict(vars(value))
+
+
+def cache_key(config):
+    payload = _canonical(replace(config, seed=0, repetitions=1))
+    payload.pop("clients", None)
+    payload.pop("trace", None)
+    return payload
+"""
+
+CACHE_KEY_BUCKETS = {
+    "keyed": ("duration_s",),
+    "normalized": ("seed", "repetitions"),
+    "stripped": ("clients", "trace"),
+}
+
+
+def test_key001_silent_when_classification_matches(tmp_path):
+    config = LintConfig(cache_key_buckets=dict(CACHE_KEY_BUCKETS))
+    findings = lint_source(tmp_path, CACHE_KEY_FIXTURE, config=config)
+    assert "KEY001" not in rules_of(findings)
+
+
+def test_key001_fires_on_unclassified_new_field(tmp_path):
+    # The acceptance scenario: grow BenchmarkConfig without deciding the
+    # new field's key semantics.
+    grown = CACHE_KEY_FIXTURE.replace(
+        "duration_s: float = 1.0",
+        "duration_s: float = 1.0\n    io_depth: int = 1",
+    )
+    config = LintConfig(cache_key_buckets=dict(CACHE_KEY_BUCKETS))
+    findings = lint_source(tmp_path, grown, config=config)
+    key = [finding for finding in findings if finding.rule == "KEY001"]
+    assert len(key) == 1
+    assert key[0].symbol == "BenchmarkConfig.io_depth"
+    assert "not classified" in key[0].message
+
+
+def test_key001_fires_on_stale_bucket_entry(tmp_path):
+    buckets = dict(CACHE_KEY_BUCKETS)
+    buckets["keyed"] = ("duration_s", "ghost_field")
+    config = LintConfig(cache_key_buckets=buckets)
+    findings = lint_source(tmp_path, CACHE_KEY_FIXTURE, config=config)
+    assert any(
+        finding.rule == "KEY001" and "ghost_field" in finding.symbol
+        for finding in findings
+    )
+
+
+def test_key001_fires_when_code_disagrees_with_classification(tmp_path):
+    # trace documented as keyed, but cache_key() pops it.
+    buckets = {
+        "keyed": ("duration_s", "trace"),
+        "normalized": ("seed", "repetitions"),
+        "stripped": ("clients",),
+    }
+    config = LintConfig(cache_key_buckets=buckets)
+    findings = lint_source(tmp_path, CACHE_KEY_FIXTURE, config=config)
+    assert any(
+        finding.rule == "KEY001" and finding.symbol == "cache_key.trace"
+        for finding in findings
+    )
+
+
+# ---------------------------------------------------------------- protocol
+def test_proto001_fires_on_mutable_stats_without_metricsource(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class WidgetStats:
+            hits: int = 0
+        """,
+    )
+    assert "PROTO001" in rules_of(findings)
+
+
+def test_proto001_silent_on_adopters_and_frozen_summaries(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from dataclasses import dataclass
+
+
+        class MetricSource:
+            pass
+
+
+        @dataclass
+        class WidgetStats(MetricSource):
+            hits: int = 0
+
+
+        @dataclass(frozen=True)
+        class SummaryStats:
+            mean: float = 0.0
+        """,
+    )
+    assert "PROTO001" not in rules_of(findings)
+
+
+DEVICE_REGISTRY_FIXTURE = """
+class GoodModel:
+    component_trace_enabled = False
+    last_components = None
+
+    def __init__(self):
+        self.stats = object()
+
+
+class BareModel:
+    def __init__(self):
+        self.capacity = 0
+
+
+DEVICE_REGISTRY = {
+    "good": lambda testbed: GoodModel(),
+    "bare": lambda testbed: BareModel(),
+}
+"""
+
+
+def test_proto002_fires_only_for_model_missing_hooks(tmp_path):
+    findings = lint_source(tmp_path, DEVICE_REGISTRY_FIXTURE)
+    proto = [finding for finding in findings if finding.rule == "PROTO002"]
+    assert proto, "expected hook findings for BareModel"
+    assert all("'bare'" in finding.symbol for finding in proto)
+    missing = {finding.symbol.rsplit(".", 1)[1] for finding in proto}
+    assert missing == {"stats", "component_trace_enabled", "last_components"}
+
+
+def test_proto003_fires_on_fs_without_stats_and_bare_journal(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        class BareLog:
+            def __init__(self):
+                self.entries = []
+
+
+        class Fsish:
+            def __init__(self):
+                self.log = BareLog()
+
+
+        FS_REGISTRY = {
+            "fsish": lambda capacity, block: Fsish(),
+        }
+        """,
+    )
+    proto = [finding for finding in findings if finding.rule == "PROTO003"]
+    symbols = {finding.symbol for finding in proto}
+    assert "FS_REGISTRY['fsish'].stats" in symbols
+    assert any(".log." in symbol for symbol in symbols)
+
+
+# ----------------------------------------------------- runner and plumbing
+def test_lint000_reports_unparseable_module(tmp_path):
+    findings = lint_source(tmp_path, "def broken(:\n    pass\n")
+    assert "LINT000" in rules_of(findings)
+
+
+def test_run_lint_flags_unused_suppression(tmp_path):
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "clean.py").write_text("X = 1\n", encoding="utf-8")
+    config_file = tmp_path / "lint.toml"
+    config_file.write_text(
+        '[[suppress]]\nrule = "DET001"\npath = "nowhere.py"\n'
+        'reason = "stale exemption"\n',
+        encoding="utf-8",
+    )
+    report = run_lint(tree, config_path=config_file, project_root=tmp_path)
+    assert [finding.rule for finding in report.findings] == ["LINT001"]
+    assert report.exit_code == 1
+
+
+def test_suppression_without_reason_is_rejected(tmp_path):
+    config_file = tmp_path / "lint.toml"
+    config_file.write_text(
+        '[[suppress]]\nrule = "DET001"\npath = "x.py"\n', encoding="utf-8"
+    )
+    with pytest.raises(LintConfigError, match="reason"):
+        load_config(config_file)
+
+
+def test_acceptance_time_time_fails_a_run(tmp_path):
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n", encoding="utf-8"
+    )
+    report = run_lint(tree, project_root=tmp_path)
+    assert report.exit_code == 1
+    assert any(finding.rule == "DET001" for finding in report.findings)
+
+
+def test_report_renders_table_and_json(tmp_path):
+    tree = tmp_path / "proj"
+    tree.mkdir()
+    (tree / "hot.py").write_text(
+        "import time\n\n\ndef now():\n    return time.time()\n", encoding="utf-8"
+    )
+    report = run_lint(tree, project_root=tmp_path)
+    table = report.to_table()
+    assert "DET001" in table and "proj/hot.py:5" in table
+    document = json.loads(report.to_json())
+    assert document["clean"] is False
+    assert document["findings"][0]["rule"] == "DET001"
+
+
+# ------------------------------------------------------------- self-checks
+def test_src_repro_lints_clean_at_head():
+    report = run_lint(
+        REPO_ROOT / "src" / "repro",
+        config_path=REPO_ROOT / "lint.toml",
+        project_root=REPO_ROOT,
+    )
+    details = "\n".join(
+        f"{finding.rule} {finding.location()} {finding.message}"
+        for finding in report.findings
+    )
+    assert report.clean, f"src/repro has contract violations:\n{details}"
+    # Every suppression in lint.toml matched something (no LINT001 above)
+    # and the documented VirtualClock exemption is actually exercised.
+    assert any(
+        finding.symbol == "VirtualClock" for finding, _ in report.suppressed
+    )
+
+
+def test_cli_lint_verb_json(tmp_path):
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "lint", "--format", "json"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert document["clean"] is True
+    assert document["modules_scanned"] > 50
+
+
+# ------------------------------------------- conventional linters (if here)
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_error_class_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests"], capture_output=True, text=True, cwd=REPO_ROOT
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_minimal_gate_clean():
+    result = subprocess.run(
+        ["mypy", "--config-file", "pyproject.toml"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

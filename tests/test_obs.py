@@ -51,7 +51,6 @@ from repro.obs import (
     write_jsonl,
 )
 from repro.storage.config import scaled_testbed
-from repro.workloads.micro import random_read_workload
 from repro.workloads.registry import postmark_workload
 
 MiB = 1024 * 1024

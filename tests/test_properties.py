@@ -2,10 +2,10 @@
 
 import random
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.histogram import LatencyHistogram, from_latencies
+from repro.core.histogram import from_latencies
 from repro.core.stats import confidence_interval, fragility_index, summarize
 from repro.core.steady_state import detect_steady_state
 from repro.core.timeline import IntervalSeries

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.histogram import LatencyHistogram, from_latencies
+from repro.core.histogram import from_latencies
 from repro.core.results import RepetitionSet, RunResult, SweepResult
 from repro.core.runner import (
     BenchmarkConfig,

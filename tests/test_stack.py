@@ -3,7 +3,7 @@
 import pytest
 
 from repro.fs.ext2 import Ext2FileSystem
-from repro.fs.stack import FS_REGISTRY, StorageStack, build_stack
+from repro.fs.stack import FS_REGISTRY, build_stack
 from repro.storage.cache import CachePolicy
 from repro.storage.config import scaled_testbed
 

@@ -1,13 +1,11 @@
 """Tests for the statistics helpers."""
 
-import math
 import statistics
 
 import pytest
 
 from repro.core.stats import (
     BIMODALITY_THRESHOLD,
-    SummaryStatistics,
     bimodality_coefficient,
     bootstrap_ci,
     coefficient_of_variation,

@@ -6,7 +6,7 @@ from repro.core.benchmark import NanoBenchmark
 from repro.core.dimensions import Dimension, DimensionVector
 from repro.core.runner import BenchmarkConfig, EnvironmentNoise, WarmupMode
 from repro.core.selfscaling import SelfScalingBenchmark
-from repro.core.suite import NanoBenchmarkSuite, SuiteResult, default_suite
+from repro.core.suite import NanoBenchmarkSuite, default_suite
 from repro.storage.config import scaled_testbed
 from repro.workloads.micro import random_read_workload
 
