@@ -1,0 +1,83 @@
+"""Wall-clock cost of the packed result store (repro.store).
+
+Two costs matter operationally: how fast a populated loose cache packs
+into a ``.frpack`` artifact (the end-of-campaign step, timed under
+pytest-benchmark), and what a point lookup costs against the pack versus
+the loose directory it replaces (timed inline and attached as extra_info).
+The qualitative contracts ride along as ``check:`` keys -- the pack
+verifies clean, every key is served, and a point read inflates exactly one
+block -- so the committed benchmark JSON doubles as a correctness record.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+
+from repro.core.experiment import Experiment, ParameterGrid
+from repro.core.parallel import ResultCache
+from repro.core.runner import BenchmarkConfig, WarmupMode
+from repro.storage.config import scaled_testbed
+from repro.store.reader import PackReader, verify_pack
+from repro.store.writer import iter_cache_entries, pack_result_cache
+
+
+def populate_cache(cache_dir: str) -> None:
+    """Fill a loose cache with a small real campaign (8 measured cells)."""
+    Experiment(
+        ParameterGrid({"fs": ("ext2", "ext4"), "workload": ("postmark", "varmail")}),
+        name="bench-store",
+        config=BenchmarkConfig(
+            duration_s=0.5,
+            repetitions=2,
+            warmup_mode=WarmupMode.PREWARM,
+            interval_s=0.25,
+        ),
+        testbed=scaled_testbed(0.0625),
+        cache_dir=cache_dir,
+    ).run()
+
+
+def test_bench_pack_build_and_lookup(benchmark, tmp_path):
+    """Pack a populated cache, then race point lookups: pack vs loose."""
+    cache_dir = str(tmp_path / "cache")
+    populate_cache(cache_dir)
+    keys = [key for key, _ in iter_cache_entries(cache_dir)]
+    pack_path = str(tmp_path / "bench.frpack")
+
+    summary = run_once(
+        benchmark, pack_result_cache, cache_dir, pack_path, block_records=2
+    )
+
+    report = verify_pack(pack_path)
+    loose = ResultCache(cache_dir)
+    started = time.perf_counter()
+    loose_runs = [loose.get(key) for key in keys]
+    loose_s = time.perf_counter() - started
+
+    with PackReader(pack_path) as reader:
+        started = time.perf_counter()
+        packed_runs = [reader.get_run(key) for key in keys]
+        packed_s = time.perf_counter() - started
+
+    with PackReader(pack_path) as fresh:
+        fresh.get(keys[0])
+        single_block = fresh.blocks_read == 1
+
+    benchmark.extra_info["records"] = summary.records
+    benchmark.extra_info["blocks"] = summary.blocks
+    benchmark.extra_info["compression_ratio"] = (
+        summary.data_bytes / summary.raw_bytes if summary.raw_bytes else 1.0
+    )
+    benchmark.extra_info["loose_us_per_lookup"] = 1e6 * loose_s / len(keys)
+    benchmark.extra_info["packed_us_per_lookup"] = 1e6 * packed_s / len(keys)
+    benchmark.extra_info["check:verify_ok"] = report.ok
+    benchmark.extra_info["check:all_keys_served"] = all(
+        run is not None for run in packed_runs
+    ) and all(run is not None for run in loose_runs)
+    benchmark.extra_info["check:single_block_point_read"] = single_block
+
+    assert summary.records == len(keys) == 8
+    assert summary.skipped == 0
+    assert report.ok
+    assert all(run is not None for run in packed_runs)
+    assert single_block

@@ -29,6 +29,10 @@ Python library:
   attribution: a span-stack :class:`~repro.obs.Tracer`, the per-layer
   :class:`~repro.obs.Attribution` breakdown behind ``fsbench-rocket
   trace``/``explain``, and the unified metrics registry.
+* :mod:`repro.store` -- the packed result store: read-optimized, compressed,
+  integrity-checked ``.frpack`` campaign artifacts (pack/merge/verify/query
+  behind ``fsbench-rocket results``) that plug back into execution as a
+  read-through cache tier.
 * :mod:`repro.experiments` -- one harness per figure/table of the paper.
 
 Quick start::
@@ -102,7 +106,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Experiment",

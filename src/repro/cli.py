@@ -32,6 +32,18 @@ measurement bit-identical to the cached one, and prints the per-layer
 latency-attribution pivot.  Progress goes through ``logging`` to stderr
 (``-v``/``--log-level`` control it); rendered tables stay on stdout.
 
+``results`` and ``cache`` manage measured cells at campaign scale (see
+:mod:`repro.store`): a loose cache directory packs into a single
+compressed, fingerprinted ``.frpack`` artifact that shards can merge and
+any checkout can mount as a read-through cache tier::
+
+    fsbench-rocket results pack --cache-dir .fsbench-cache --out campaign.frpack
+    fsbench-rocket results verify campaign.frpack
+    fsbench-rocket results query campaign.frpack --where fs=ext4
+    fsbench-rocket run --axis fs=ext4 --axis workload=postmark \\
+        --pack campaign.frpack
+    fsbench-rocket cache .fsbench-cache   # inspect / integrity-scan / --clear
+
 The legacy harness commands remain as shims over the same engine::
 
     fsbench-rocket table1 [--measured --quick]
@@ -296,6 +308,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="ignore --cache-dir and measure everything fresh"
     )
     run_cmd.add_argument(
+        "--pack",
+        action="append",
+        default=[],
+        metavar="PACK",
+        help="attach a packed result artifact (.frpack) as a read-through "
+        "cache tier (repeatable; see 'fsbench-rocket results')",
+    )
+    run_cmd.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines on stderr"
     )
 
@@ -393,6 +413,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "checked bit-for-bit against the cached entry; a missing entry "
             "is measured and stored first)"
         ),
+    )
+    explain_cmd.add_argument(
+        "--pack",
+        action="append",
+        default=[],
+        metavar="PACK",
+        help="packed result artifact (.frpack) holding the cell; the traced "
+        "re-run is verified bit-for-bit against the packed entry (repeatable)",
     )
 
     for name, needs_fs in (
@@ -586,6 +614,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reuse/write the aged snapshot here (default: a private temp directory)",
     )
 
+    from repro.store.commands import add_store_subparsers
+
+    add_store_subparsers(subparsers)
+
     age = subparsers.add_parser(
         "age",
         help="age a file system and save the state as a reproducible snapshot",
@@ -699,6 +731,18 @@ def _run_experiment(args) -> int:
         else paper_testbed()
     )
     cache_dir = None if args.no_cache else args.cache_dir
+    if args.pack:
+        # Open each pack once up front so an unreadable or corrupt
+        # artifact is a clean usage error, not a mid-run traceback.
+        from repro.store.format import StoreError
+        from repro.store.reader import PackReader
+
+        try:
+            for pack_path in args.pack:
+                PackReader(pack_path).close()
+        except (StoreError, OSError) as error:
+            print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+            return 2
     try:
         experiment = Experiment(
             grid=ParameterGrid(axes),
@@ -706,6 +750,7 @@ def _run_experiment(args) -> int:
             testbed=testbed,
             n_workers=args.workers,
             cache_dir=cache_dir,
+            pack_paths=tuple(args.pack),
         )
         cells = experiment.cells()
     except (ValueError, TypeError, AttributeError, OSError) as error:
@@ -822,7 +867,15 @@ def _run_explain(args) -> int:
         return 2
     unit = cell.work_units()[0]
     key = unit.key()
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    cache = None
+    if args.cache_dir or args.pack:
+        from repro.store.format import StoreError
+
+        try:
+            cache = ResultCache(args.cache_dir, pack_paths=tuple(args.pack))
+        except (StoreError, OSError) as error:
+            print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+            return 2
     reference = cache.get(key) if cache is not None else None
     if reference is None:
         logger.info("cell %s not cached; measuring the reference now", cell.label)
@@ -926,6 +979,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "explain":
         return _run_explain(args)
+    if args.command == "results":
+        from repro.store.commands import run_results
+
+        return run_results(args)
+    if args.command == "cache":
+        from repro.store.commands import run_cache
+
+        return run_cache(args)
     if args.command == "table1":
         measured_fs_types = None
         if not args.measured and (

@@ -345,6 +345,11 @@ class Experiment:
         :class:`~repro.core.parallel.ResultCache`.  Cache keys are those of
         the underlying work units, so cells already measured by the legacy
         entry points (or by any other experiment) are served from cache.
+    pack_paths:
+        Packed result artifacts (:mod:`repro.store`) attached as a
+        read-through cache tier: cells found in a pack are served without
+        execution, exactly like loose cache hits.  Works with or without
+        ``cache_dir`` (without it the cache is read-only).
     """
 
     def __init__(
@@ -355,6 +360,7 @@ class Experiment:
         testbed: Optional[TestbedConfig] = None,
         n_workers: Optional[int] = 1,
         cache_dir: Optional[str] = None,
+        pack_paths: Sequence[str] = (),
     ) -> None:
         self.grid = grid if isinstance(grid, ParameterGrid) else ParameterGrid(grid)
         self.name = name
@@ -362,6 +368,7 @@ class Experiment:
         self.testbed = testbed if testbed is not None else paper_testbed()
         self.n_workers = n_workers
         self.cache_dir = cache_dir
+        self.pack_paths = tuple(pack_paths)
         self._validate_axis_names()
         self._cells: Optional[List[ExperimentCell]] = None
 
@@ -534,7 +541,11 @@ class Experiment:
     # -------------------------------------------------------------- execution
     def make_executor(self) -> ParallelExecutor:
         """The executor this experiment dispatches through."""
-        cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        cache = (
+            ResultCache(self.cache_dir, pack_paths=self.pack_paths)
+            if (self.cache_dir or self.pack_paths)
+            else None
+        )
         return ParallelExecutor(n_workers=self.n_workers, cache=cache)
 
     def run(

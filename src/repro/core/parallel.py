@@ -32,6 +32,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, replace
@@ -44,6 +45,8 @@ from repro.core.runner import BenchmarkConfig, run_single_repetition
 from repro.obs.metrics import MetricSource
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.spec import WorkloadSpec
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the simulation's physics change incompatibly, so stale caches
 #: from older code cannot satisfy new runs.
@@ -274,11 +277,12 @@ def benchmark_units(
 # -------------------------------------------------------------- result cache
 @dataclass
 class CacheStats(MetricSource):
-    """Hit/miss/store counters of one :class:`ResultCache` instance."""
+    """Hit/miss/store/corruption counters of one :class:`ResultCache`."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    corrupt: int = 0
 
 
 class ResultCache:
@@ -286,32 +290,94 @@ class ResultCache:
 
     Entries live at ``<cache_dir>/<key[:2]>/<key>.json`` in the standard
     result format (:mod:`repro.core.persistence`), so a cache doubles as an
-    archive: any entry can be loaded and analysed directly.  Corrupt or
-    unreadable entries are treated as misses, never as errors.
+    archive: any entry can be loaded and analysed directly.  A corrupt loose
+    entry is treated as a miss, counted in ``stats.corrupt``, and quarantined
+    to ``<key>.json.corrupt`` so it cannot keep masquerading as a miss run
+    after run.
+
+    ``pack_paths`` adds a read-through tier of packed result artifacts
+    (:mod:`repro.store`): a :meth:`get` consults the packs first, then the
+    loose directory.  Packs are read-only and integrity-checked -- a
+    corrupt pack *raises* (:class:`repro.store.format.StoreCorruptionError`)
+    rather than degrading to a miss, because a pack is a distributed,
+    fingerprinted artifact whose damage should stop the presses, not
+    silently re-measure.  ``cache_dir=None`` with packs gives a pure
+    read-only cache (``put`` discards, ``clear`` removes nothing).
     """
 
-    def __init__(self, cache_dir: str) -> None:
-        self.cache_dir = str(cache_dir)
+    def __init__(
+        self, cache_dir: Optional[str] = None, pack_paths: Sequence[str] = ()
+    ) -> None:
+        if cache_dir is None and not pack_paths:
+            raise ValueError("a ResultCache needs a cache_dir, pack_paths, or both")
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.stats = CacheStats()
-        os.makedirs(self.cache_dir, exist_ok=True)
+        if self.cache_dir is not None:
+            os.makedirs(self.cache_dir, exist_ok=True)
+        self._packs = []
+        if pack_paths:
+            # Imported lazily: repro.store sits above the core layer.
+            from repro.store.reader import PackReader
+
+            self._packs = [PackReader(path) for path in pack_paths]
+
+    @property
+    def pack_paths(self) -> List[str]:
+        """Paths of the attached read-through packs, in lookup order."""
+        return [pack.path for pack in self._packs]
 
     def path_for(self, key: str) -> str:
-        """Filesystem path of the entry for ``key``."""
+        """Filesystem path of the loose entry for ``key``."""
+        if self.cache_dir is None:
+            raise ValueError("pack-only cache has no loose entry paths")
         return os.path.join(self.cache_dir, key[:2], f"{key}.json")
 
     def get(self, key: str) -> Optional[RunResult]:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        Lookup order: attached packs first (committed artifacts warm a fresh
+        checkout), then the loose directory.
+        """
+        for pack in self._packs:
+            run = pack.get_run(key)
+            if run is not None:
+                self.stats.hits += 1
+                return run
+        if self.cache_dir is None:
+            self.stats.misses += 1
+            return None
         path = self.path_for(key)
         try:
             run = load_run_result(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self._quarantine(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return run
 
+    def _quarantine(self, path: str) -> None:
+        """Set a corrupt loose entry aside as ``<path>.corrupt``."""
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:  # pragma: no cover - unreadable *and* unmovable
+            logger.warning("corrupt cache entry %s (could not quarantine)", path)
+            return
+        logger.warning("corrupt cache entry %s quarantined to %s.corrupt", path, path)
+
     def put(self, key: str, run: RunResult) -> None:
-        """Store ``run`` under ``key`` (atomic: write-temp-then-rename)."""
+        """Store ``run`` under ``key`` (atomic: write-temp-then-rename).
+
+        A pack-only cache silently discards stores: packs are immutable
+        artifacts, and the caller's contract (``get`` after ``put`` may hit)
+        is already satisfied by whichever pack made the ``put`` redundant.
+        """
+        if self.cache_dir is None:
+            return
         path = self.path_for(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
@@ -326,16 +392,23 @@ class ResultCache:
         self.stats.stores += 1
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every loose entry (quarantined ones included); returns how
+        many live entries were removed.  Attached packs are never touched."""
+        if self.cache_dir is None:
+            return 0
         removed = 0
         for directory, _, files in os.walk(self.cache_dir):
             for name in files:
                 if name.endswith(".json"):
                     os.unlink(os.path.join(directory, name))
                     removed += 1
+                elif name.endswith(".json.corrupt"):
+                    os.unlink(os.path.join(directory, name))
         return removed
 
     def __len__(self) -> int:
+        if self.cache_dir is None:
+            return 0
         return sum(
             1
             for _, _, files in os.walk(self.cache_dir)

@@ -235,6 +235,26 @@ def _read(source: Union[str, TextIO]) -> Dict:
     return json.load(source)
 
 
+def canonical_run_payload(run: RunResult) -> bytes:
+    """The canonical byte encoding of one run, as stored in a result pack.
+
+    This is the same wrapped document :func:`save_run_result` writes, dumped
+    compactly with sorted keys: a pure function of the run's serialised
+    fields, so equal runs always produce equal bytes.  The packed store
+    (:mod:`repro.store`) leans on that for its dedup/conflict rule -- a cache
+    key may appear in two shards only with byte-identical payloads -- which
+    is why every pack writer must funnel through here rather than invent its
+    own encoder (enforced by lint rule KEY002).
+    """
+    document = _wrap("run_result", run_result_to_dict(run))
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def run_from_payload(payload: bytes) -> RunResult:
+    """Reconstruct a run from its :func:`canonical_run_payload` bytes."""
+    return run_result_from_dict(_unwrap(json.loads(payload.decode("utf-8")), "run_result"))
+
+
 def save_run_result(run: RunResult, destination: Union[str, TextIO]) -> None:
     """Write a single run (one repetition) to a JSON file or file object.
 

@@ -1,0 +1,54 @@
+"""repro.store: the packed, compressed, integrity-checked result store.
+
+A ``.frpack`` artifact turns a sprawling loose result cache -- one JSON
+file per measured cell -- into a single distributable file a whole fleet
+can share, merge and verify: sorted ``(cache key -> canonical run
+payload)`` records in independently compressed blocks, with a checksum on
+every structure and a whole-file SHA-256 fingerprint.  See
+:mod:`repro.store.format` for the byte layout and
+``docs/architecture.md`` section 10 for the rationale.
+
+The public surface:
+
+* :class:`~repro.store.reader.PackReader` / :func:`~repro.store.reader.verify_pack`
+* :class:`~repro.store.writer.PackWriter` and the ``pack_*`` front ends
+* :func:`~repro.store.merge.merge_packs`
+* the ``fsbench-rocket results`` / ``cache`` verbs (:mod:`repro.store.commands`)
+* the read-through cache tier: ``ResultCache(..., pack_paths=[...])``
+"""
+
+from repro.store.format import (
+    DEFAULT_BLOCK_BYTES,
+    DEFAULT_LEVEL,
+    StoreConflictError,
+    StoreCorruptionError,
+    StoreError,
+    StoreFormatError,
+)
+from repro.store.merge import merge_packs
+from repro.store.reader import PackReader, VerifyReport, verify_pack
+from repro.store.writer import (
+    PackSummary,
+    PackWriter,
+    pack_result_cache,
+    pack_runs_jsonl,
+    write_pack,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "DEFAULT_LEVEL",
+    "PackReader",
+    "PackSummary",
+    "PackWriter",
+    "StoreConflictError",
+    "StoreCorruptionError",
+    "StoreError",
+    "StoreFormatError",
+    "VerifyReport",
+    "merge_packs",
+    "pack_result_cache",
+    "pack_runs_jsonl",
+    "verify_pack",
+    "write_pack",
+]

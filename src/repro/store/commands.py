@@ -1,0 +1,384 @@
+"""CLI verbs of the packed result store.
+
+``fsbench-rocket results <verb>`` is the operational face of
+:mod:`repro.store`::
+
+    fsbench-rocket results pack --cache-dir .fsbench-cache --out campaign.frpack
+    fsbench-rocket results merge --out all.frpack shard1.frpack shard2.frpack
+    fsbench-rocket results verify campaign.frpack
+    fsbench-rocket results query campaign.frpack --where fs=ext4
+    fsbench-rocket results export campaign.frpack --out frame.jsonl
+
+plus ``fsbench-rocket cache <dir>``, the loose-cache maintenance verb
+(inspect, integrity-scan, ``--clear``).
+
+Everything here is glue: argument parsing and rendering.  The work happens
+in :mod:`repro.store.writer`, :mod:`repro.store.reader` and
+:mod:`repro.store.merge`; queries land in a
+:class:`~repro.core.frame.ResultFrame`, so the same filters, pivots and
+JSONL/CSV round-trips apply to packed results as to live experiment runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Iterable, Optional, Tuple
+
+from repro.core.frame import ResultFrame, rows_for_run
+from repro.core.persistence import run_from_payload
+from repro.store.format import DEFAULT_BLOCK_BYTES, DEFAULT_LEVEL, StoreError
+from repro.store.merge import merge_packs
+from repro.store.reader import PackReader, verify_pack
+from repro.store.writer import pack_result_cache, pack_runs_jsonl
+
+
+def _parse_where(text: str) -> Tuple[str, Any]:
+    """argparse type for --where: ``COLUMN=VALUE`` with scalar coercion."""
+    name, sep, raw = text.partition("=")
+    name = name.strip()
+    raw = raw.strip()
+    if not sep or not name or not raw:
+        raise argparse.ArgumentTypeError("expected COLUMN=VALUE (e.g. fs=ext4)")
+    lowered = raw.lower()
+    if lowered == "true":
+        return name, True
+    if lowered == "false":
+        return name, False
+    try:
+        return name, int(raw)
+    except ValueError:
+        pass
+    try:
+        return name, float(raw)
+    except ValueError:
+        return name, raw
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return number
+
+
+def add_store_subparsers(subparsers) -> None:
+    """Register the ``results`` and ``cache`` subcommands on the CLI parser."""
+    results = subparsers.add_parser(
+        "results",
+        help="pack, merge, verify, query and export .frpack result artifacts",
+    )
+    verbs = results.add_subparsers(dest="verb", required=True)
+
+    pack = verbs.add_parser(
+        "pack", help="build a pack from a loose cache directory or a runs JSONL"
+    )
+    source = pack.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="loose ResultCache directory to pack (every <key>.json entry)",
+    )
+    source.add_argument(
+        "--runs",
+        metavar="JSONL",
+        help='runs JSONL to pack (lines of {"key": ..., "run": ...}, '
+        "as written by 'results export --runs')",
+    )
+    pack.add_argument("--out", required=True, metavar="PACK", help="output .frpack path")
+    _add_pack_options(pack)
+
+    merge = verbs.add_parser(
+        "merge", help="union N shard packs (dedup by key, conflicts are fatal)"
+    )
+    merge.add_argument("sources", nargs="+", metavar="PACK", help="shard packs to merge")
+    merge.add_argument("--out", required=True, metavar="PACK", help="output .frpack path")
+    _add_pack_options(merge)
+
+    verify = verbs.add_parser(
+        "verify", help="full integrity audit: fingerprint, header/index/block checksums"
+    )
+    verify.add_argument("pack", metavar="PACK", help="pack to audit")
+
+    query = verbs.add_parser(
+        "query", help="read packed cells into a result frame and render or write it"
+    )
+    query.add_argument("pack", metavar="PACK", help="pack to query")
+    query.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="exact cache key to fetch (repeatable; default: every record)",
+    )
+    query.add_argument(
+        "--prefix", default=None, metavar="HEX", help="cache-key prefix to fetch"
+    )
+    query.add_argument(
+        "--where",
+        action="append",
+        type=_parse_where,
+        default=[],
+        metavar="COLUMN=VALUE",
+        help="keep only frame rows matching this column value (repeatable)",
+    )
+    query.add_argument(
+        "--metric",
+        default="throughput_ops_s",
+        metavar="NAME",
+        help="metric rendered in the summary table (default throughput_ops_s)",
+    )
+    query.add_argument(
+        "--experiment",
+        default=None,
+        metavar="NAME",
+        help="experiment name recorded in the frame rows",
+    )
+    query.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the frame here (.csv writes CSV, anything else JSONL) "
+        "instead of rendering a table",
+    )
+
+    export = verbs.add_parser(
+        "export", help="dump a pack as a frame JSONL/CSV or as re-packable run records"
+    )
+    export.add_argument("pack", metavar="PACK", help="pack to export")
+    export.add_argument("--out", required=True, metavar="PATH", help="output path")
+    export.add_argument(
+        "--runs",
+        action="store_true",
+        help='write raw {"key", "run"} JSONL (re-packable via \'results pack --runs\') '
+        "instead of the tidy frame",
+    )
+    export.add_argument(
+        "--experiment",
+        default=None,
+        metavar="NAME",
+        help="experiment name recorded in the frame rows (frame export only)",
+    )
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a loose result-cache directory"
+    )
+    cache.add_argument("cache_dir", metavar="DIR", help="cache directory")
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every entry (quarantined ones too)"
+    )
+
+
+def _add_pack_options(parser) -> None:
+    parser.add_argument(
+        "--level",
+        type=int,
+        default=DEFAULT_LEVEL,
+        choices=range(0, 10),
+        metavar="0-9",
+        help=f"zlib compression level (default {DEFAULT_LEVEL})",
+    )
+    parser.add_argument(
+        "--block-bytes",
+        type=_positive_int,
+        default=DEFAULT_BLOCK_BYTES,
+        metavar="N",
+        help=f"uncompressed block size target in bytes (default {DEFAULT_BLOCK_BYTES})",
+    )
+    parser.add_argument(
+        "--block-records",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="also cut a block every N records (default: size-based only)",
+    )
+
+
+# ------------------------------------------------------------------ helpers
+def pack_records(
+    reader: PackReader,
+    keys: Iterable[str] = (),
+    prefix: Optional[str] = None,
+) -> Iterable[Tuple[str, bytes]]:
+    """The selected ``(key, payload)`` records of a pack, in key order."""
+    keys = list(keys)
+    if keys:
+        for key in sorted(set(keys)):
+            payload = reader.get(key)
+            if payload is not None:
+                yield key, payload
+    elif prefix is not None:
+        yield from reader.iter_prefix(prefix)
+    else:
+        yield from reader
+
+
+def frame_from_pack(
+    reader: PackReader,
+    keys: Iterable[str] = (),
+    prefix: Optional[str] = None,
+    experiment: Optional[str] = None,
+) -> ResultFrame:
+    """Build a tidy frame from packed cells.
+
+    Rows carry the axes recoverable from the payload itself (``fs``,
+    ``workload``, plus the per-run ``seed``/``repetition``) and the given
+    experiment name -- the same columns an fs x workload
+    :class:`~repro.core.experiment.Experiment` emits, which is what makes
+    the pack-vs-live frame equality check possible at all.
+    """
+    frame = ResultFrame()
+    for key, payload in pack_records(reader, keys=keys, prefix=prefix):
+        run = run_from_payload(payload)
+        axes: dict = {}
+        if experiment is not None:
+            axes["experiment"] = experiment
+        axes["fs"] = run.fs_name
+        axes["workload"] = run.workload_name
+        frame.extend(rows_for_run(axes, run))
+    return frame
+
+
+def _write_frame(frame: ResultFrame, out: str) -> None:
+    if out.endswith(".csv"):
+        frame.to_csv(out)
+    else:
+        frame.to_jsonl(out)
+    print(f"wrote {len(frame)} records -> {out}")
+
+
+# --------------------------------------------------------------------- verbs
+def run_results(args) -> int:
+    """Dispatch ``fsbench-rocket results <verb>``."""
+    try:
+        if args.verb == "pack":
+            if args.cache_dir:
+                summary = pack_result_cache(
+                    args.cache_dir,
+                    args.out,
+                    level=args.level,
+                    block_bytes=args.block_bytes,
+                    block_records=args.block_records,
+                )
+            else:
+                summary = pack_runs_jsonl(
+                    args.runs,
+                    args.out,
+                    level=args.level,
+                    block_bytes=args.block_bytes,
+                    block_records=args.block_records,
+                )
+            print(summary.render())
+            return 0
+        if args.verb == "merge":
+            summary = merge_packs(
+                args.out,
+                args.sources,
+                level=args.level,
+                block_bytes=args.block_bytes,
+                block_records=args.block_records,
+            )
+            print(f"merged {len(args.sources)} packs:")
+            print(summary.render())
+            return 0
+        if args.verb == "verify":
+            report = verify_pack(args.pack)
+            print(report.render())
+            return 0 if report.ok else 1
+        if args.verb == "query":
+            with PackReader(args.pack) as reader:
+                frame = frame_from_pack(
+                    reader,
+                    keys=args.key,
+                    prefix=args.prefix,
+                    experiment=args.experiment,
+                )
+            for column, value in args.where:
+                frame = frame.filter(**{column: value})
+            if args.out:
+                _write_frame(frame, args.out)
+                return 0
+            if not len(frame):
+                print("no matching records")
+                return 0
+            table = frame.filter(metric=args.metric).pivot(
+                index="workload", columns="fs"
+            )
+            print(f"{args.metric} (mean over matching repetitions):")
+            print(
+                table.render(
+                    index_headers=["workload"],
+                    value_format="{:.1f}",
+                    missing="-",
+                )
+            )
+            return 0
+        if args.verb == "export":
+            with PackReader(args.pack) as reader:
+                if args.runs:
+                    count = 0
+                    with open(args.out, "w") as handle:
+                        for key, payload in reader:
+                            document = json.loads(payload.decode("utf-8"))
+                            handle.write(
+                                json.dumps(
+                                    {"key": key, "run": document}, sort_keys=True
+                                )
+                                + "\n"
+                            )
+                            count += 1
+                    print(f"wrote {count} run records -> {args.out}")
+                    return 0
+                frame = frame_from_pack(reader, experiment=args.experiment)
+            _write_frame(frame, args.out)
+            return 0
+    except (StoreError, FileNotFoundError, ValueError) as error:
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unknown results verb {args.verb!r}")
+
+
+def run_cache(args) -> int:
+    """Dispatch ``fsbench-rocket cache``: inspect, scan, or clear."""
+    from repro.core.parallel import ResultCache
+    from repro.store.writer import iter_cache_entries
+
+    if not os.path.isdir(args.cache_dir):
+        print(
+            f"fsbench-rocket: error: cache directory not found: {args.cache_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {args.cache_dir}")
+        return 0
+
+    entries = list(iter_cache_entries(args.cache_dir))
+    total_bytes = 0
+    quarantined = 0
+    for directory, _, files in os.walk(args.cache_dir):
+        for name in files:
+            if name.endswith(".json") or name.endswith(".json.corrupt"):
+                total_bytes += os.path.getsize(os.path.join(directory, name))
+            if name.endswith(".json.corrupt"):
+                quarantined += 1
+    # A full read-back scan: every entry is loaded through the persistence
+    # layer, so unreadable ones are counted and quarantined right here.
+    for key, _ in entries:
+        cache.get(key)
+    print(f"{args.cache_dir}: {len(entries)} entries, {total_bytes} bytes")
+    print(
+        f"  scan: {cache.stats.hits} readable, {cache.stats.corrupt} corrupt "
+        f"(quarantined now), {quarantined} quarantined earlier"
+    )
+    print(
+        f"  stats: hits={cache.stats.hits} misses={cache.stats.misses} "
+        f"stores={cache.stats.stores} corrupt={cache.stats.corrupt}"
+    )
+    if cache.stats.corrupt:
+        print("  corrupt entries were renamed to <key>.json.corrupt")
+    return 0

@@ -1,0 +1,296 @@
+"""On-disk layout of ``.frpack`` packed result artifacts.
+
+A pack is a read-optimized archive of sorted ``(cache key -> canonical run
+payload)`` records, borrowed from the ZS archival format: records are
+grouped into independently zlib-compressed blocks so a point or range read
+decompresses only the blocks it touches, every structure carries its own
+checksum so corruption is *detected, never silently returned*, and a
+whole-file SHA-256 fingerprint names the artifact's exact contents.
+
+Byte layout (all integers big-endian, offsets from the start of the file)::
+
+    0           MAGIC            8 bytes  b"FRPACK\\x00\\x01" (last byte:
+                                          container format version)
+    8           header_len       u32
+    12          header JSON      compact UTF-8, sorted keys
+    12+H        header_crc       u32      crc32 of the header JSON bytes
+    16+H        blocks           concatenated zlib streams
+    ...         index JSON       compact UTF-8, sorted keys
+    ...         footer           60 bytes, fixed:
+                  index_offset   u64
+                  index_len      u64
+                  index_crc      u32      crc32 of the index JSON bytes
+                  fingerprint    32 bytes sha256 of file[0 : footer+20]
+                  MAGIC_END      8 bytes  b"FRPKEND\\n"
+
+The header holds only *static* metadata (format version, the
+``CACHE_FORMAT_VERSION`` the payloads were keyed under, the compression
+scheme and level), so it can be written before the first record and a pack
+of the same records is byte-identical no matter how it was produced --
+which is what lets ``merge`` prove itself against a direct pack.  Counts
+and the block index live in the index document at the tail, where a
+single-pass streaming writer can put them.
+
+Each index entry is ``[first_key, last_key, offset, comp_len, raw_len,
+crc32, n_records]``: first/last keys make point lookups a binary search
+that skips blocks without decompressing them, and the per-block CRC is over
+the *compressed* bytes so damage is caught before inflating garbage.
+
+Inside a decompressed block, records are length-prefixed::
+
+    u16 key_len | key (ASCII) | u32 payload_len | payload
+
+Keys are strictly ascending across the whole pack (the cache keys this
+format exists for are 64-char SHA-256 hex strings, but any ASCII string up
+to 64 KiB works); a duplicate key is only legal when its payload is
+byte-identical, which is the dedup/conflict rule ``merge`` relies on.
+
+Integrity coverage is total: every byte before the fingerprint field is
+covered by the SHA-256, a flip inside the stored fingerprint itself fails
+the fingerprint comparison, and a flip in the trailing magic fails the
+end-marker check -- so ``verify`` catches any single-byte corruption, and
+the CRC ladder (header, index, per-block) localises it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+MAGIC = b"FRPACK\x00\x01"
+MAGIC_END = b"FRPKEND\n"
+FORMAT_VERSION = 1
+COMPRESSION = "zlib"
+
+#: Default zlib level: 6 is zlib's own default, the usual speed/size knee.
+DEFAULT_LEVEL = 6
+#: Default uncompressed block size target.  Result payloads run 1-4 KiB, so
+#: this packs tens of records per block: large enough to compress well,
+#: small enough that a point read inflates only a sliver of the file.
+DEFAULT_BLOCK_BYTES = 64 * 1024
+
+_U32 = struct.Struct(">I")
+_KEY_LEN = struct.Struct(">H")
+_FOOTER = struct.Struct(">QQI32s8s")
+FOOTER_SIZE = _FOOTER.size  # 60
+#: Bytes of the footer covered by the fingerprint (everything before it).
+FOOTER_FINGERPRINTED = 20
+
+#: Upper bound on the header document; anything larger is not a pack.
+MAX_HEADER_BYTES = 1 << 20
+
+
+# ------------------------------------------------------------------- errors
+class StoreError(Exception):
+    """Base class of every packed-store failure."""
+
+
+class StoreFormatError(StoreError):
+    """The file is not a pack, or uses a newer format than supported."""
+
+
+class StoreCorruptionError(StoreError):
+    """An integrity check failed: the bytes cannot be trusted."""
+
+
+class StoreConflictError(StoreError):
+    """The same cache key appeared with two different payloads."""
+
+    def __init__(self, key: str, detail: str = "") -> None:
+        self.key = key
+        message = f"conflicting payloads for key {key}"
+        super().__init__(f"{message}: {detail}" if detail else message)
+
+
+# -------------------------------------------------------------- block index
+@dataclass(frozen=True)
+class BlockEntry:
+    """One row of the block index."""
+
+    first_key: str
+    last_key: str
+    offset: int
+    comp_len: int
+    raw_len: int
+    crc: int
+    n_records: int
+
+    def to_row(self) -> List:
+        return [
+            self.first_key,
+            self.last_key,
+            self.offset,
+            self.comp_len,
+            self.raw_len,
+            self.crc,
+            self.n_records,
+        ]
+
+    @classmethod
+    def from_row(cls, row: Sequence) -> "BlockEntry":
+        if len(row) != 7:
+            raise StoreCorruptionError(f"malformed index row: {row!r}")
+        first_key, last_key, offset, comp_len, raw_len, crc, n_records = row
+        if not (isinstance(first_key, str) and isinstance(last_key, str)):
+            raise StoreCorruptionError(f"malformed index row keys: {row!r}")
+        try:
+            return cls(
+                first_key=first_key,
+                last_key=last_key,
+                offset=int(offset),
+                comp_len=int(comp_len),
+                raw_len=int(raw_len),
+                crc=int(crc),
+                n_records=int(n_records),
+            )
+        except (TypeError, ValueError):
+            raise StoreCorruptionError(f"malformed index row: {row!r}") from None
+
+
+# ----------------------------------------------------------- record framing
+def encode_records(records: Sequence[Tuple[str, bytes]]) -> bytes:
+    """Frame ``(key, payload)`` records into one raw (uncompressed) block."""
+    parts: List[bytes] = []
+    for key, payload in records:
+        encoded_key = key.encode("ascii")
+        parts.append(_KEY_LEN.pack(len(encoded_key)))
+        parts.append(encoded_key)
+        parts.append(_U32.pack(len(payload)))
+        parts.append(payload)
+    return b"".join(parts)
+
+
+def decode_records(raw: bytes) -> List[Tuple[str, bytes]]:
+    """Invert :func:`encode_records`; truncation or garbage raises."""
+    records: List[Tuple[str, bytes]] = []
+    view = memoryview(raw)
+    position = 0
+    total = len(raw)
+    while position < total:
+        if position + _KEY_LEN.size > total:
+            raise StoreCorruptionError("truncated record: key length cut off")
+        (key_len,) = _KEY_LEN.unpack_from(view, position)
+        position += _KEY_LEN.size
+        if position + key_len + _U32.size > total:
+            raise StoreCorruptionError("truncated record: key or payload length cut off")
+        try:
+            key = bytes(view[position : position + key_len]).decode("ascii")
+        except UnicodeDecodeError:
+            raise StoreCorruptionError("record key is not ASCII") from None
+        position += key_len
+        (payload_len,) = _U32.unpack_from(view, position)
+        position += _U32.size
+        if position + payload_len > total:
+            raise StoreCorruptionError("truncated record: payload cut off")
+        records.append((key, bytes(view[position : position + payload_len])))
+        position += payload_len
+    return records
+
+
+# --------------------------------------------------------- header and index
+def header_document(level: int, cache_format_version: int) -> dict:
+    """The static metadata document written at the front of every pack."""
+    return {
+        "cache_format_version": int(cache_format_version),
+        "compression": COMPRESSION,
+        "format": "frpack",
+        "format_version": FORMAT_VERSION,
+        "level": int(level),
+    }
+
+
+def encode_preamble(level: int, cache_format_version: int) -> bytes:
+    """MAGIC + length-prefixed header JSON + header CRC, ready to write."""
+    header = json.dumps(
+        header_document(level, cache_format_version), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return MAGIC + _U32.pack(len(header)) + header + _U32.pack(zlib.crc32(header))
+
+
+def decode_preamble(data: bytes) -> Tuple[dict, int]:
+    """Parse and integrity-check the preamble of ``data``.
+
+    Returns ``(header document, offset of the first block)``.  Raises
+    :class:`StoreFormatError` for not-a-pack/unsupported-version and
+    :class:`StoreCorruptionError` for a failed CRC or unparseable header.
+    """
+    if len(data) < len(MAGIC) + _U32.size:
+        raise StoreFormatError("file too short to be a pack")
+    if data[: len(MAGIC) - 1] != MAGIC[:-1]:
+        raise StoreFormatError("bad magic: not an .frpack file")
+    if data[len(MAGIC) - 1] != MAGIC[-1]:
+        raise StoreFormatError(
+            f"unsupported container version {data[len(MAGIC) - 1]} (supported: {MAGIC[-1]})"
+        )
+    (header_len,) = _U32.unpack_from(data, len(MAGIC))
+    if header_len > MAX_HEADER_BYTES:
+        raise StoreCorruptionError(f"implausible header length {header_len}")
+    header_start = len(MAGIC) + _U32.size
+    header_end = header_start + header_len
+    if len(data) < header_end + _U32.size:
+        raise StoreCorruptionError("truncated header")
+    header_bytes = data[header_start:header_end]
+    (stored_crc,) = _U32.unpack_from(data, header_end)
+    actual_crc = zlib.crc32(header_bytes)
+    if stored_crc != actual_crc:
+        raise StoreCorruptionError(
+            f"header CRC mismatch (stored {stored_crc:#010x}, computed {actual_crc:#010x})"
+        )
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise StoreCorruptionError("header is not valid JSON") from None
+    if not isinstance(header, dict) or header.get("format") != "frpack":
+        raise StoreFormatError("header does not describe an frpack file")
+    if int(header.get("format_version", -1)) > FORMAT_VERSION:
+        raise StoreFormatError(
+            f"pack format version {header.get('format_version')} is newer than "
+            f"supported ({FORMAT_VERSION})"
+        )
+    if header.get("compression") != COMPRESSION:
+        raise StoreFormatError(f"unsupported compression {header.get('compression')!r}")
+    return header, header_end + _U32.size
+
+
+def encode_index(entries: Sequence[BlockEntry], record_count: int) -> bytes:
+    """The index document: block table plus total record count."""
+    document = {
+        "blocks": [entry.to_row() for entry in entries],
+        "record_count": int(record_count),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def decode_index(data: bytes) -> Tuple[List[BlockEntry], int]:
+    """Invert :func:`encode_index` (CRC checking is the caller's job)."""
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise StoreCorruptionError("index is not valid JSON") from None
+    if not isinstance(document, dict) or "blocks" not in document:
+        raise StoreCorruptionError("index document lacks a block table")
+    entries = [BlockEntry.from_row(row) for row in document["blocks"]]
+    try:
+        record_count = int(document["record_count"])
+    except (KeyError, TypeError, ValueError):
+        raise StoreCorruptionError("index document lacks a record count") from None
+    return entries, record_count
+
+
+def encode_footer_prefix(index_offset: int, index_len: int, index_crc: int) -> bytes:
+    """The fingerprint-covered first 20 bytes of the footer."""
+    return struct.pack(">QQI", index_offset, index_len, index_crc)
+
+
+def decode_footer(data: bytes) -> Tuple[int, int, int, bytes]:
+    """Parse the 60-byte footer: ``(index_offset, index_len, index_crc,
+    fingerprint)``.  The trailing magic is checked here."""
+    if len(data) != FOOTER_SIZE:
+        raise StoreCorruptionError(f"footer must be {FOOTER_SIZE} bytes, got {len(data)}")
+    index_offset, index_len, index_crc, fingerprint, magic_end = _FOOTER.unpack(data)
+    if magic_end != MAGIC_END:
+        raise StoreCorruptionError("bad end marker: truncated or overwritten pack")
+    return index_offset, index_len, index_crc, fingerprint

@@ -1,0 +1,384 @@
+"""Reading and auditing ``.frpack`` result packs.
+
+Two consumers live here with deliberately different temperaments:
+
+* :class:`PackReader` is the hot path -- open once, binary-search the block
+  index, decompress only the touched blocks.  Any integrity failure it
+  meets *raises*; it never hands back bytes it cannot vouch for.
+* :func:`verify_pack` is the audit path -- read the whole file, check every
+  structure (magic, header CRC, footer, whole-file fingerprint, index CRC,
+  every block CRC and its decoded contents), and *collect* the failures
+  into a report instead of stopping at the first, so one pass localises
+  all the damage.
+
+The reader keeps a ``blocks_read`` counter (blocks actually decompressed)
+precisely so tests can assert the access-granularity claim: a point lookup
+on a multi-block pack inflates exactly one block, a miss that binary search
+can rule out inflates none.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import IO, Iterator, List, Optional, Tuple
+
+from repro.core.persistence import run_from_payload
+from repro.core.results import RunResult
+from repro.store.format import (
+    FOOTER_FINGERPRINTED,
+    FOOTER_SIZE,
+    StoreCorruptionError,
+    StoreFormatError,
+    decode_footer,
+    decode_index,
+    decode_preamble,
+    decode_records,
+)
+
+
+class PackReader:
+    """Random and streaming access to one ``.frpack`` file.
+
+    Opening validates the preamble, footer, and index; record payloads are
+    checked lazily, block by block, as they are first touched.  A single
+    most-recently-used decompressed block is cached, which is the natural
+    fit for both point lookups with locality and in-order scans.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.blocks_read = 0
+        self._handle: Optional[IO[bytes]] = open(path, "rb")
+        try:
+            self._size = os.fstat(self._handle.fileno()).st_size
+            if self._size < FOOTER_SIZE:
+                raise StoreFormatError(f"{path}: file too short to be a pack")
+            preamble = self._handle.read(min(self._size, 1 << 16))
+            self.header, self._data_start = decode_preamble(preamble)
+            self._handle.seek(self._size - FOOTER_SIZE)
+            index_offset, index_len, index_crc, self._fingerprint = decode_footer(
+                self._handle.read(FOOTER_SIZE)
+            )
+            footer_start = self._size - FOOTER_SIZE
+            if not (self._data_start <= index_offset and index_offset + index_len == footer_start):
+                raise StoreCorruptionError(f"{path}: index offset/length out of bounds")
+            self._handle.seek(index_offset)
+            index_bytes = self._handle.read(index_len)
+            if len(index_bytes) != index_len:
+                raise StoreCorruptionError(f"{path}: truncated index")
+            actual_crc = zlib.crc32(index_bytes)
+            if actual_crc != index_crc:
+                raise StoreCorruptionError(
+                    f"{path}: index CRC mismatch "
+                    f"(stored {index_crc:#010x}, computed {actual_crc:#010x})"
+                )
+            self._entries, self._record_count = decode_index(index_bytes)
+            self._check_index_invariants(index_offset)
+            self._first_keys = [entry.first_key for entry in self._entries]
+            self._cached_block: Optional[int] = None
+            self._cached_records: List[Tuple[str, bytes]] = []
+        except Exception:
+            self._handle.close()
+            self._handle = None
+            raise
+
+    def _check_index_invariants(self, index_offset: int) -> None:
+        expected_offset = self._data_start
+        previous_last: Optional[str] = None
+        total = 0
+        for number, entry in enumerate(self._entries):
+            if entry.offset != expected_offset:
+                raise StoreCorruptionError(
+                    f"{self.path}: block {number} offset {entry.offset}, expected {expected_offset}"
+                )
+            if entry.first_key > entry.last_key or entry.n_records <= 0:
+                raise StoreCorruptionError(f"{self.path}: block {number} index entry is malformed")
+            if previous_last is not None and entry.first_key <= previous_last:
+                raise StoreCorruptionError(
+                    f"{self.path}: block {number} keys overlap the previous block"
+                )
+            previous_last = entry.last_key
+            expected_offset += entry.comp_len
+            total += entry.n_records
+        if expected_offset != index_offset:
+            raise StoreCorruptionError(f"{self.path}: block region does not reach the index")
+        if total != self._record_count:
+            raise StoreCorruptionError(
+                f"{self.path}: index record count {self._record_count} != block total {total}"
+            )
+
+    # -------------------------------------------------------------- access
+    def _load_block(self, number: int) -> List[Tuple[str, bytes]]:
+        if self._cached_block == number:
+            return self._cached_records
+        if self._handle is None:
+            raise RuntimeError("reader is closed")
+        entry = self._entries[number]
+        self._handle.seek(entry.offset)
+        compressed = self._handle.read(entry.comp_len)
+        if len(compressed) != entry.comp_len:
+            raise StoreCorruptionError(f"{self.path}: block {number} truncated")
+        actual_crc = zlib.crc32(compressed)
+        if actual_crc != entry.crc:
+            raise StoreCorruptionError(
+                f"{self.path}: block {number} CRC mismatch "
+                f"(stored {entry.crc:#010x}, computed {actual_crc:#010x})"
+            )
+        try:
+            raw = zlib.decompress(compressed)
+        except zlib.error as error:
+            raise StoreCorruptionError(
+                f"{self.path}: block {number} failed to decompress: {error}"
+            ) from None
+        if len(raw) != entry.raw_len:
+            raise StoreCorruptionError(
+                f"{self.path}: block {number} inflated to {len(raw)} bytes, "
+                f"index says {entry.raw_len}"
+            )
+        records = decode_records(raw)
+        if len(records) != entry.n_records:
+            raise StoreCorruptionError(
+                f"{self.path}: block {number} holds {len(records)} records, "
+                f"index says {entry.n_records}"
+            )
+        if records[0][0] != entry.first_key or records[-1][0] != entry.last_key:
+            raise StoreCorruptionError(
+                f"{self.path}: block {number} key boundaries disagree with the index"
+            )
+        for (key_a, _), (key_b, _) in zip(records, records[1:]):
+            if key_b <= key_a:
+                raise StoreCorruptionError(f"{self.path}: block {number} keys are not ascending")
+        self.blocks_read += 1
+        self._cached_block = number
+        self._cached_records = records
+        return records
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Point lookup: the payload for ``key``, or ``None``.
+
+        Binary search picks the single candidate block from the index; if
+        the index already rules the key out, nothing is decompressed.
+        """
+        number = bisect_right(self._first_keys, key) - 1
+        if number < 0:
+            return None
+        entry = self._entries[number]
+        if key > entry.last_key:
+            return None
+        for record_key, payload in self._load_block(number):
+            if record_key == key:
+                return payload
+            if record_key > key:
+                break
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def get_run(self, key: str) -> Optional[RunResult]:
+        """Point lookup decoded into a :class:`RunResult`."""
+        payload = self.get(key)
+        return run_from_payload(payload) if payload is not None else None
+
+    def __iter__(self) -> Iterator[Tuple[str, bytes]]:
+        """Stream every record in key order, one block in memory at a time."""
+        for number in range(len(self._entries)):
+            yield from self._load_block(number)
+
+    def iter_prefix(self, prefix: str) -> Iterator[Tuple[str, bytes]]:
+        """Stream records whose key starts with ``prefix``, skipping blocks
+        the index proves are entirely outside the range."""
+        start = bisect_right(self._first_keys, prefix) - 1
+        for number in range(max(start, 0), len(self._entries)):
+            entry = self._entries[number]
+            if entry.first_key > prefix and not entry.first_key.startswith(prefix):
+                break
+            if entry.last_key < prefix:
+                continue
+            for key, payload in self._load_block(number):
+                if key.startswith(prefix):
+                    yield key, payload
+                elif key > prefix:
+                    return
+
+    def __len__(self) -> int:
+        return self._record_count
+
+    @property
+    def fingerprint(self) -> str:
+        """The pack's whole-file SHA-256, hex-encoded."""
+        return self._fingerprint.hex()
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "PackReader":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------------- verify
+@dataclass
+class VerifyReport:
+    """Outcome of a full-pack audit: every failure found, localised."""
+
+    path: str
+    records: int = 0
+    blocks: int = 0
+    size_bytes: int = 0
+    fingerprint: str = ""
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        if self.ok:
+            return (
+                f"{self.path}: OK -- {self.records} records in {self.blocks} blocks, "
+                f"{self.size_bytes} bytes, sha256:{self.fingerprint}"
+            )
+        lines = [f"{self.path}: CORRUPT -- {len(self.errors)} problem(s)"]
+        lines.extend(f"  {error}" for error in self.errors)
+        return "\n".join(lines)
+
+
+def verify_pack(path: str) -> VerifyReport:
+    """Audit every integrity structure of a pack; never raises on damage.
+
+    Checks, in dependency order: both magics, the header CRC and contents,
+    the footer, the whole-file fingerprint, the index CRC, its internal
+    invariants, then every block (CRC, decompression, raw length, record
+    framing, key ordering, record count).  Later stages are skipped when an
+    earlier stage they depend on already failed.
+    """
+    report = VerifyReport(path=path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as error:
+        report.errors.append(f"unreadable: {error}")
+        return report
+    report.size_bytes = len(data)
+
+    try:
+        header, data_start = decode_preamble(data)
+    except (StoreFormatError, StoreCorruptionError) as error:
+        report.errors.append(f"header: {error}")
+        return report
+
+    if len(data) < data_start + FOOTER_SIZE:
+        report.errors.append("footer: file truncated before the footer")
+        return report
+    footer_start = len(data) - FOOTER_SIZE
+    try:
+        index_offset, index_len, index_crc, fingerprint = decode_footer(data[footer_start:])
+    except StoreCorruptionError as error:
+        report.errors.append(f"footer: {error}")
+        return report
+
+    actual_fingerprint = hashlib.sha256(data[: footer_start + FOOTER_FINGERPRINTED]).digest()
+    report.fingerprint = actual_fingerprint.hex()
+    if actual_fingerprint != fingerprint:
+        report.errors.append(
+            f"fingerprint: sha256 mismatch (stored {fingerprint.hex()}, "
+            f"computed {actual_fingerprint.hex()})"
+        )
+
+    if not (data_start <= index_offset and index_offset + index_len == footer_start):
+        report.errors.append("index: offset/length out of bounds")
+        return report
+    index_bytes = data[index_offset : index_offset + index_len]
+    actual_crc = zlib.crc32(index_bytes)
+    if actual_crc != index_crc:
+        report.errors.append(
+            f"index: CRC mismatch (stored {index_crc:#010x}, computed {actual_crc:#010x})"
+        )
+        return report
+    try:
+        entries, record_count = decode_index(index_bytes)
+    except StoreCorruptionError as error:
+        report.errors.append(f"index: {error}")
+        return report
+    report.blocks = len(entries)
+    report.records = record_count
+
+    expected_offset = data_start
+    previous_last: Optional[str] = None
+    total_records = 0
+    structure_broken = False
+    for number, entry in enumerate(entries):
+        if entry.offset != expected_offset:
+            report.errors.append(
+                f"block {number}: offset {entry.offset}, expected {expected_offset}"
+            )
+            structure_broken = True
+            break
+        expected_offset += entry.comp_len
+        if expected_offset > index_offset:
+            report.errors.append(f"block {number}: extends past the index")
+            structure_broken = True
+            break
+        if previous_last is not None and entry.first_key <= previous_last:
+            report.errors.append(f"block {number}: keys overlap the previous block")
+        compressed = data[entry.offset : entry.offset + entry.comp_len]
+        block_crc = zlib.crc32(compressed)
+        if block_crc != entry.crc:
+            report.errors.append(
+                f"block {number}: CRC mismatch "
+                f"(stored {entry.crc:#010x}, computed {block_crc:#010x})"
+            )
+            previous_last = entry.last_key
+            total_records += entry.n_records
+            continue
+        try:
+            raw = zlib.decompress(compressed)
+        except zlib.error as error:
+            report.errors.append(f"block {number}: failed to decompress: {error}")
+            previous_last = entry.last_key
+            total_records += entry.n_records
+            continue
+        if len(raw) != entry.raw_len:
+            report.errors.append(
+                f"block {number}: inflated to {len(raw)} bytes, index says {entry.raw_len}"
+            )
+        try:
+            records = decode_records(raw)
+        except StoreCorruptionError as error:
+            report.errors.append(f"block {number}: {error}")
+            previous_last = entry.last_key
+            total_records += entry.n_records
+            continue
+        if len(records) != entry.n_records:
+            report.errors.append(
+                f"block {number}: holds {len(records)} records, index says {entry.n_records}"
+            )
+        if records and (records[0][0] != entry.first_key or records[-1][0] != entry.last_key):
+            report.errors.append(f"block {number}: key boundaries disagree with the index")
+        for (key_a, _), (key_b, _) in zip(records, records[1:]):
+            if key_b <= key_a:
+                report.errors.append(f"block {number}: keys are not ascending")
+                break
+        previous_last = entry.last_key
+        total_records += entry.n_records
+    if not structure_broken:
+        if expected_offset != index_offset:
+            report.errors.append("blocks: block region does not reach the index")
+        if total_records != record_count:
+            report.errors.append(
+                f"records: index claims {record_count}, blocks hold {total_records}"
+            )
+    return report

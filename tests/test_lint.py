@@ -66,6 +66,7 @@ def test_registry_has_all_documented_rules():
         "SNAP001",
         "SNAP002",
         "KEY001",
+        "KEY002",
         "PROTO001",
         "PROTO002",
         "PROTO003",
@@ -379,6 +380,89 @@ def test_key001_fires_when_code_disagrees_with_classification(tmp_path):
         finding.rule == "KEY001" and finding.symbol == "cache_key.trace"
         for finding in findings
     )
+
+
+def test_key002_fires_on_ad_hoc_result_serialization(tmp_path):
+    # A second encoder: dumping run_result_to_dict() output directly instead
+    # of going through canonical_run_payload.
+    findings = lint_source(
+        tmp_path,
+        """
+        import json
+
+        from repro.core.persistence import run_result_to_dict
+
+
+        def rogue_payload(run):
+            return json.dumps(run_result_to_dict(run)).encode("utf-8")
+        """,
+    )
+    key = [finding for finding in findings if finding.rule == "KEY002"]
+    assert len(key) == 1
+    assert key[0].symbol == "run_result_to_dict"
+    assert "canonical" in key[0].hint
+
+
+def test_key002_fires_on_private_wrap_call(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.core.persistence import _wrap, run_result_to_dict
+
+
+        def rogue_document(run):
+            return _wrap("run_result", run_result_to_dict(run))
+        """,
+    )
+    assert any(
+        finding.rule == "KEY002" and finding.symbol == "_wrap"
+        for finding in findings
+    )
+
+
+def test_key002_silent_on_in_memory_comparison(tmp_path):
+    # obs.payloads_match-style dict equality never produces bytes, so it is
+    # not a serialization path.
+    findings = lint_source(
+        tmp_path,
+        """
+        from repro.core.persistence import run_result_to_dict
+
+
+        def payloads_match(run_a, run_b):
+            return run_result_to_dict(run_a) == run_result_to_dict(run_b)
+        """,
+    )
+    assert "KEY002" not in rules_of(findings)
+
+
+def test_key002_silent_inside_the_persistence_module(tmp_path):
+    # The canonical encoder itself is the one legitimate _wrap + dumps site.
+    tree = tmp_path / "proj" / "core"
+    tree.mkdir(parents=True)
+    (tree / "persistence.py").write_text(
+        textwrap.dedent(
+            """
+            import json
+
+
+            def _wrap(kind, payload):
+                return {"kind": kind, "data": payload}
+
+
+            def run_result_to_dict(run):
+                return dict(vars(run))
+
+
+            def canonical_run_payload(run):
+                document = _wrap("run_result", run_result_to_dict(run))
+                return json.dumps(document, sort_keys=True).encode("utf-8")
+            """
+        ),
+        encoding="utf-8",
+    )
+    findings = lint_tree(tmp_path / "proj")
+    assert "KEY002" not in rules_of(findings)
 
 
 # ---------------------------------------------------------------- protocol

@@ -306,6 +306,47 @@ class TestResultCache:
         assert cache.clear() == 3
         assert len(cache) == 0
 
+    def test_corrupt_entry_is_counted_and_quarantined(self, tmp_path, caplog):
+        import logging
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        key = "cd" + "1" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("not json{")
+        with caplog.at_level(logging.WARNING, logger="repro.core.parallel"):
+            assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+        # The bad file is set aside, not left to masquerade as a miss forever.
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert any(path in record.getMessage() for record in caplog.records)
+        # The next lookup is a plain miss: nothing left to re-quarantine.
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 2
+
+    def test_clear_removes_quarantined_entries_too(self, tmp_path):
+        import os
+
+        cache = ResultCache(str(tmp_path))
+        key = "ef" + "2" * 62
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{broken")
+        cache.get(key)
+        assert os.path.exists(path + ".corrupt")
+        assert cache.clear() == 0  # no live entries
+        assert not os.path.exists(path + ".corrupt")
+
+    def test_cache_needs_a_directory_or_packs(self):
+        with pytest.raises(ValueError):
+            ResultCache()
+
 
 class TestMergeHelpers:
     def test_merge_shards_reassembles_serial_order(self, testbed, nano):
