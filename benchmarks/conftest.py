@@ -28,6 +28,24 @@ def pytest_collection_modifyitems(items):
             item.add_marker(pytest.mark.slow)
 
 
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Embed the normalized ``{name -> stats}`` shape into the bench JSON.
+
+    The raw pytest-benchmark layout stays untouched (existing consumers keep
+    working); the ``normalized`` section is the stable contract
+    ``repro.obs.benchjson`` prefers, so every ``BENCH_*.json`` written from
+    now on survives pytest-benchmark version churn and feeds
+    ``fsbench-rocket bench-diff`` directly.
+    """
+    from repro.obs.benchjson import SCHEMA, normalize
+
+    stats = normalize(output_json)
+    output_json["normalized"] = {
+        "schema": SCHEMA,
+        "benchmarks": {name: s.to_dict() for name, s in sorted(stats.items())},
+    }
+
+
 def run_once(benchmark, func, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark.
 

@@ -1,0 +1,75 @@
+"""Overhead guard for the campaign telemetry layer (repro.obs.telemetry).
+
+The executor event log and the phase profiler promise to be non-perturbing
+in *virtual* time (pinned byte-identical in tests/test_telemetry.py); this
+module bounds their cost in *wall-clock* time.  A two-cell campaign run
+through ``ParallelExecutor`` with a live ``TelemetrySink`` is timed under
+pytest-benchmark, the identical untelemetered campaign is timed inline, and
+the ratio must stay within a modest constant -- the telemetry hooks are a
+few clock reads and a deque append per unit, and should never dominate the
+simulation they observe.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+
+from repro.core.parallel import ParallelExecutor, WorkUnit
+from repro.core.persistence import canonical_run_payload
+from repro.core.runner import BenchmarkConfig, WarmupMode
+from repro.obs import TelemetrySink
+from repro.storage.config import scaled_testbed
+from repro.workloads.registry import postmark_workload
+
+#: Telemetered wall-clock must stay under this multiple of the plain run.
+#: Per unit the sink adds an event build + deque append per lifecycle stage
+#: and the profiler a handful of perf_counter reads; 3x leaves generous
+#: headroom for noisy CI machines.
+MAX_OVERHEAD_RATIO = 3.0
+
+
+def campaign_units() -> list[WorkUnit]:
+    """A small two-repetition campaign on the golden cell's testbed."""
+    spec = postmark_workload(file_count=60)
+    config = BenchmarkConfig(duration_s=0.5, repetitions=1, warmup_mode=WarmupMode.NONE)
+    testbed = scaled_testbed(0.0625)
+    return [
+        WorkUnit(fs_type="ext4", spec=spec, config=config, testbed=testbed, repetition=rep, group="postmark@ext4")
+        for rep in (0, 1)
+    ]
+
+
+def run_campaign(sink=None):
+    """Run the campaign serially, optionally under a telemetry sink."""
+    executor = ParallelExecutor(n_workers=1, telemetry=sink)
+    return executor.run_units(campaign_units())
+
+
+def test_bench_telemetry_overhead(benchmark):
+    """One telemetered campaign, vs its untelemetered twin."""
+    # Warm interpreter caches once, then time the plain baseline inline.
+    run_campaign()
+    started = time.perf_counter()
+    plain = run_campaign()
+    plain_s = time.perf_counter() - started
+
+    sink = TelemetrySink()
+    telemetered = run_once(benchmark, run_campaign, sink)
+
+    telemetered_s = benchmark.stats.stats.mean
+    ratio = telemetered_s / plain_s if plain_s > 0 else float("inf")
+    payloads_identical = [canonical_run_payload(r) for r in telemetered] == [
+        canonical_run_payload(r) for r in plain
+    ]
+    benchmark.extra_info["plain_seconds"] = plain_s
+    benchmark.extra_info["overhead_ratio"] = ratio
+    benchmark.extra_info["telemetry_events"] = sink.total_events
+    benchmark.extra_info["check:payload_identical"] = payloads_identical
+    benchmark.extra_info["check:overhead_bounded"] = ratio < MAX_OVERHEAD_RATIO
+
+    assert payloads_identical
+    # Every unit settles with exactly one queued + one terminal event, and
+    # fresh executions add an exec-start: 2 units x 3 events.
+    assert sink.counts["queued"] == 2
+    assert sink.counts["exec-done"] == 2
+    assert ratio < MAX_OVERHEAD_RATIO

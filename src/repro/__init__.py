@@ -106,7 +106,7 @@ from repro.workloads import (
 
 #: The single source of the package version: setup.py parses it from here and
 #: the CLI's ``--version`` flag reports it.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Experiment",

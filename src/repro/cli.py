@@ -32,6 +32,19 @@ measurement bit-identical to the cached one, and prints the per-layer
 latency-attribution pivot.  Progress goes through ``logging`` to stderr
 (``-v``/``--log-level`` control it); rendered tables stay on stdout.
 
+``report`` and ``bench-diff`` watch the campaign and the harness itself
+(see :mod:`repro.obs.telemetry` / :mod:`repro.obs.benchdiff`)::
+
+    fsbench-rocket run --axis fs=ext4 --axis workload=postmark \\
+        --telemetry telemetry.jsonl
+    fsbench-rocket report telemetry.jsonl
+    fsbench-rocket bench-diff BENCH_PR7.json BENCH_PR9.json --threshold 0.5
+
+``run --telemetry`` logs every work unit's lifecycle (queued / cache-hit /
+pack-hit / exec-start / exec-done / failed) with wall-clock phase profiles;
+``report`` renders campaign health from that log, and ``bench-diff`` exits
+non-zero when a shared benchmark's mean regressed beyond the threshold.
+
 ``results`` and ``cache`` manage measured cells at campaign scale (see
 :mod:`repro.store`): a loose cache directory packs into a single
 compressed, fingerprinted ``.frpack`` artifact that shards can merge and
@@ -151,6 +164,14 @@ def _nonnegative_int(value: str) -> int:
     number = int(value)
     if number < 0:
         raise argparse.ArgumentTypeError("must be >= 0 (0 means one worker per CPU)")
+    return number
+
+
+def _nonnegative_float(value: str) -> float:
+    """argparse type for --threshold: a float >= 0."""
+    number = float(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
     return number
 
 
@@ -318,10 +339,54 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress lines on stderr"
     )
+    run_cmd.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="write the executor's per-unit lifecycle event log (JSONL) here "
+        "and profile wall-clock phases; render it with 'fsbench-rocket report'",
+    )
 
     subparsers.add_parser(
         "list",
         help="list registered filesystems, workloads, devices, schedulers and experiments",
+    )
+
+    report_cmd = subparsers.add_parser(
+        "report",
+        help="render campaign health (stage breakdown, cache efficiency, "
+        "worker utilization) from a telemetry JSONL file",
+    )
+    report_cmd.add_argument(
+        "telemetry", metavar="TELEMETRY.jsonl", help="event log written by 'run --telemetry'"
+    )
+    report_cmd.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="N",
+        help="how many slowest cells to list (default 5)",
+    )
+
+    bench_diff_cmd = subparsers.add_parser(
+        "bench-diff",
+        help="compare two benchmark-timing JSON files; non-zero exit when a "
+        "shared benchmark regressed beyond the threshold",
+    )
+    bench_diff_cmd.add_argument("old", metavar="OLD.json", help="baseline bench JSON")
+    bench_diff_cmd.add_argument("new", metavar="NEW.json", help="candidate bench JSON")
+    bench_diff_cmd.add_argument(
+        "--threshold",
+        type=_nonnegative_float,
+        default=None,
+        metavar="FRACTION",
+        help="allowed mean-time growth before a benchmark counts as regressed "
+        "(default 0.5, i.e. 1.5x)",
+    )
+    bench_diff_cmd.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
     )
 
     lint_cmd = subparsers.add_parser(
@@ -743,6 +808,11 @@ def _run_experiment(args) -> int:
         except (StoreError, OSError) as error:
             print(f"fsbench-rocket: error: {error}", file=sys.stderr)
             return 2
+    sink = None
+    if args.telemetry:
+        from repro.obs import TelemetrySink
+
+        sink = TelemetrySink(args.telemetry)
     try:
         experiment = Experiment(
             grid=ParameterGrid(axes),
@@ -751,32 +821,38 @@ def _run_experiment(args) -> int:
             n_workers=args.workers,
             cache_dir=cache_dir,
             pack_paths=tuple(args.pack),
+            telemetry=sink,
         )
         cells = experiment.cells()
     except (ValueError, TypeError, AttributeError, OSError) as error:
         # Bad axis names/values (including wrongly-typed config overrides,
         # which surface as AttributeError from validate()) and unreadable
         # snapshots are usage errors; fail before any measurement starts.
+        if sink is not None:
+            sink.close()
         print(f"fsbench-rocket: error: {error}", file=sys.stderr)
         return 2
-    total = len(cells)
-    completed = {"cells": 0}
 
-    def on_cell(cell, repetitions) -> None:
-        completed["cells"] += 1
-        summary = repetitions.throughput_summary()
-        logger.info(
-            "[%d/%d] %s: %.0f ops/s +/-%.0f%% (%d reps)",
-            completed["cells"],
-            total,
-            cell.label,
-            summary.mean,
-            summary.relative_stddev_percent,
-            len(repetitions),
-        )
+    import os
+
+    from repro.obs import ProgressReporter
+
+    reporter = ProgressReporter(
+        total_units=sum(len(cell.seeds) for cell in cells),
+        total_cells=len(cells),
+        n_workers=args.workers or (os.cpu_count() or 1),
+        sink=sink,
+        emit=lambda line: logger.info("%s", line),
+    )
 
     logger.info("%s", experiment.describe())
-    outcome = experiment.run(on_cell=on_cell)
+    try:
+        outcome = experiment.run(
+            on_unit=reporter.unit_done, on_cell=reporter.cell_done
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     print(outcome.render())
     if args.out:
         if args.out.endswith(".csv"):
@@ -784,6 +860,8 @@ def _run_experiment(args) -> int:
         else:
             outcome.frame.to_jsonl(args.out)
         print(f"wrote {len(outcome.frame)} records -> {args.out}")
+    if sink is not None:
+        print(f"wrote {sink.total_events} telemetry events -> {args.telemetry}")
     return 0
 
 
@@ -905,6 +983,43 @@ def _run_explain(args) -> int:
     return 0
 
 
+def _run_report(args) -> int:
+    """The ``report`` subcommand: campaign health from a telemetry JSONL."""
+    from repro.obs import load_events, render_report
+
+    try:
+        events = load_events(args.telemetry)
+    except (OSError, ValueError) as error:
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(
+            f"fsbench-rocket: error: {args.telemetry}: no telemetry events",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_report(events, top=args.top))
+    return 0
+
+
+def _run_bench_diff(args) -> int:
+    """The ``bench-diff`` subcommand: the benchmark-regression gate."""
+    from repro.obs import diff_files
+    from repro.obs.benchdiff import DEFAULT_THRESHOLD
+
+    threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+    try:
+        diff = diff_files(args.old, args.new, threshold=threshold)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        print(f"fsbench-rocket: error: {error}", file=sys.stderr)
+        return 2
+    print(diff.render())
+    if diff.exit_code and args.warn_only:
+        logger.warning("regressions beyond threshold, but --warn-only requested: exit 0")
+        return 0
+    return diff.exit_code
+
+
 def _run_age(args) -> int:
     """The ``age`` subcommand: age, snapshot, optionally compare."""
     from repro.aging import (
@@ -977,6 +1092,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "bench-diff":
+        return _run_bench_diff(args)
     if args.command == "explain":
         return _run_explain(args)
     if args.command == "results":

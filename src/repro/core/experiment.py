@@ -350,6 +350,12 @@ class Experiment:
         read-through cache tier: cells found in a pack are served without
         execution, exactly like loose cache hits.  Works with or without
         ``cache_dir`` (without it the cache is read-only).
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetrySink` handed to the
+        executor: every repetition's lifecycle is logged and fresh
+        executions run under the wall-clock phase profiler.  Observation
+        only -- results, frames and cache keys are byte-identical with or
+        without it.
     """
 
     def __init__(
@@ -361,6 +367,7 @@ class Experiment:
         n_workers: Optional[int] = 1,
         cache_dir: Optional[str] = None,
         pack_paths: Sequence[str] = (),
+        telemetry: Optional[Any] = None,
     ) -> None:
         self.grid = grid if isinstance(grid, ParameterGrid) else ParameterGrid(grid)
         self.name = name
@@ -369,6 +376,7 @@ class Experiment:
         self.n_workers = n_workers
         self.cache_dir = cache_dir
         self.pack_paths = tuple(pack_paths)
+        self.telemetry = telemetry
         self._validate_axis_names()
         self._cells: Optional[List[ExperimentCell]] = None
 
@@ -546,7 +554,9 @@ class Experiment:
             if (self.cache_dir or self.pack_paths)
             else None
         )
-        return ParallelExecutor(n_workers=self.n_workers, cache=cache)
+        return ParallelExecutor(
+            n_workers=self.n_workers, cache=cache, telemetry=self.telemetry
+        )
 
     def run(
         self,
@@ -562,6 +572,15 @@ class Experiment:
         completion order) and ``on_cell(cell, repetitions)`` as the last
         repetition of each cell lands -- streaming progress without touching
         the bit-identical, unit-ordered results.
+
+        With a telemetry sink attached the per-unit ordering is: the
+        executor emits the unit's terminal event (``cache-hit`` /
+        ``pack-hit`` / ``exec-done``), then ``on_unit`` fires, then -- when
+        that unit completed its cell -- ``on_cell``.  A failing unit emits
+        its ``failed`` event and then raises out of this method; neither
+        callback fires for it, and ``on_cell`` never fires for a cell with a
+        failed repetition, so the event log (not the callbacks) is the
+        record of what went wrong.
         """
         cells = self.cells()
         units: List[WorkUnit] = [unit for cell in cells for unit in cell.work_units()]

@@ -37,12 +37,14 @@ import os
 import tempfile
 from dataclasses import dataclass, replace
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.persistence import load_run_result, save_run_result
 from repro.core.results import RepetitionSet, RunResult
 from repro.core.runner import BenchmarkConfig, run_single_repetition
 from repro.obs.metrics import MetricSource
+from repro.obs.profile import phase as profile_phase
+from repro.obs.telemetry import TelemetryEvent, TelemetrySink, UnitTiming, timed_execute
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.spec import WorkloadSpec
 
@@ -277,12 +279,30 @@ def benchmark_units(
 # -------------------------------------------------------------- result cache
 @dataclass
 class CacheStats(MetricSource):
-    """Hit/miss/store/corruption counters of one :class:`ResultCache`."""
+    """Hit/miss/store/corruption counters of one :class:`ResultCache`.
+
+    ``hits`` counts every hit regardless of tier; ``pack_hits`` is the
+    subset served from attached read-through packs, and ``blocks_read``
+    mirrors the pack readers' decompressed-block counters (the ZS-style
+    access-granularity metric) so the campaign report and any
+    :class:`~repro.obs.metrics.MetricsRegistry` see cache efficiency in one
+    uniform snapshot.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    pack_hits: int = 0
+    blocks_read: int = 0
+
+    derived_metrics = ("hit_ratio",)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 class ResultCache:
@@ -338,26 +358,49 @@ class ResultCache:
         Lookup order: attached packs first (committed artifacts warm a fresh
         checkout), then the loose directory.
         """
-        for pack in self._packs:
-            run = pack.get_run(key)
-            if run is not None:
-                self.stats.hits += 1
-                return run
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> "Tuple[Optional[RunResult], str]":
+        """Like :meth:`get`, but also names the tier that answered.
+
+        Returns ``(run, origin)`` with origin one of ``"pack"``, ``"loose"``
+        or ``"miss"`` -- the distinction the telemetry event log records
+        (``pack-hit`` vs ``cache-hit``) and the stats expose as
+        ``pack_hits``.
+        """
+        run = self._pack_lookup(key)
+        if run is not None:
+            return run, "pack"
         if self.cache_dir is None:
             self.stats.misses += 1
-            return None
+            return None, "miss"
         path = self.path_for(key)
         try:
             run = load_run_result(path)
         except FileNotFoundError:
             self.stats.misses += 1
-            return None
+            return None, "miss"
         except (OSError, ValueError, KeyError, json.JSONDecodeError):
             self._quarantine(path)
             self.stats.misses += 1
-            return None
+            return None, "miss"
         self.stats.hits += 1
-        return run
+        return run, "loose"
+
+    def _pack_lookup(self, key: str) -> Optional[RunResult]:
+        """Consult the read-through packs; keeps the pack counters synced."""
+        if not self._packs:
+            return None
+        try:
+            for pack in self._packs:
+                run = pack.get_run(key)
+                if run is not None:
+                    self.stats.hits += 1
+                    self.stats.pack_hits += 1
+                    return run
+            return None
+        finally:
+            self.stats.blocks_read = sum(pack.blocks_read for pack in self._packs)
 
     def _quarantine(self, path: str) -> None:
         """Set a corrupt loose entry aside as ``<path>.corrupt``."""
@@ -382,7 +425,7 @@ class ResultCache:
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
+            with profile_phase("serialize"), os.fdopen(fd, "w") as handle:
                 save_run_result(run, handle)
             os.replace(temp_path, path)
         except BaseException:
@@ -418,6 +461,20 @@ class ResultCache:
 
 
 # ----------------------------------------------------------------- executor
+def _unit_event(kind: str, unit: WorkUnit, key: str, **extra) -> TelemetryEvent:
+    """One telemetry lifecycle event describing ``unit`` (see repro.obs)."""
+    return TelemetryEvent(
+        kind=kind,
+        group=unit.group or f"{unit.spec.name}@{unit.fs_type}",
+        fs=unit.fs_type,
+        workload=unit.spec.name,
+        repetition=unit.repetition,
+        seed=unit.seed,
+        key=key,
+        **extra,
+    )
+
+
 class ParallelExecutor:
     """Runs work units across processes, with optional result caching.
 
@@ -429,6 +486,15 @@ class ParallelExecutor:
     cache:
         Optional :class:`ResultCache`.  Hits skip execution entirely; every
         fresh result is stored on completion.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.TelemetrySink`.  When attached
+        the executor emits one lifecycle event per unit (``queued``, then a
+        terminal ``cache-hit``/``pack-hit``/``exec-done``/``failed``, with
+        ``exec-start`` carrying a fresh execution's true start stamp) and
+        runs fresh units under the wall-clock phase profiler
+        (:mod:`repro.obs.profile`).  Telemetry is observation only: results,
+        cache keys and serialized payloads are byte-identical with a sink
+        attached or not (pinned in ``tests/test_telemetry.py``).
 
     Determinism: results are returned in work-unit order and each unit's
     randomness is fully determined by its own seed, so the output is
@@ -436,13 +502,19 @@ class ParallelExecutor:
     fresh executions).
     """
 
-    def __init__(self, n_workers: Optional[int] = 1, cache: Optional[ResultCache] = None) -> None:
+    def __init__(
+        self,
+        n_workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[TelemetrySink] = None,
+    ) -> None:
         if n_workers is None or n_workers == 0:
             n_workers = os.cpu_count() or 1
         if n_workers < 0:
             raise ValueError("n_workers must be None or >= 0")
         self.n_workers = n_workers
         self.cache = cache
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------ execution
     def run_units(
@@ -457,35 +529,102 @@ class ParallelExecutor:
         fresh result as it completes (completion order under a pool).  The
         returned list is unaffected -- still unit order, still bit-identical
         for any worker count.
+
+        With a telemetry sink attached, each unit's events are emitted
+        *before* its ``on_result`` call, so downstream consumers (the
+        Experiment streaming callbacks, the progress reporter) always
+        observe a unit whose event log is already terminal.  A unit that
+        raises emits a ``failed`` event first and then propagates the
+        exception unchanged.
         """
         units = list(units)
         results: List[Optional[RunResult]] = [None] * len(units)
+        sink = self.telemetry
 
         pending: List[int] = []
         keys: Dict[int, str] = {}
         for index, unit in enumerate(units):
-            if self.cache is not None:
+            if self.cache is not None or sink is not None:
                 keys[index] = unit.key()
-                cached = self.cache.get(keys[index])
+            if sink is not None:
+                sink.emit(_unit_event("queued", unit, keys[index]))
+            if self.cache is not None:
+                cached, origin = self.cache.lookup(keys[index])
                 if cached is not None:
                     # The measurement depends only on the effective seed; the
                     # repetition index is bookkeeping relative to *this* run.
                     cached.repetition = unit.repetition
                     results[index] = cached
+                    if sink is not None:
+                        sink.emit(
+                            _unit_event(
+                                "pack-hit" if origin == "pack" else "cache-hit",
+                                unit,
+                                keys[index],
+                            )
+                        )
                     if on_result is not None:
                         on_result(unit, cached, True)
                     continue
             pending.append(index)
 
-        def _store(index: int, run: RunResult) -> None:
-            if self.cache is not None:
-                self.cache.put(keys[index], run)
+        def _store(
+            index: int, run: RunResult, timing: Optional[UnitTiming] = None
+        ) -> None:
+            self._cache_put(keys.get(index), run, timing)
+            if sink is not None and timing is not None:
+                sink.emit(
+                    _unit_event(
+                        "exec-start", units[index], keys[index], worker=timing.pid
+                    ),
+                    t_s=sink.to_sink_time(timing.started_epoch_s),
+                )
+                sink.emit(
+                    _unit_event(
+                        "exec-done",
+                        units[index],
+                        keys[index],
+                        wall_s=timing.wall_s,
+                        worker=timing.pid,
+                        phases=timing.phases,
+                    ),
+                    t_s=sink.to_sink_time(timing.ended_epoch_s),
+                )
             results[index] = run
             if on_result is not None:
                 on_result(units[index], run, False)
 
-        self._execute([units[i] for i in pending], pending, _store)
+        self._execute([units[i] for i in pending], pending, _store, keys)
         return results  # type: ignore[return-value]
+
+    def _cache_put(
+        self, key: Optional[str], run: RunResult, timing: Optional[UnitTiming]
+    ) -> None:
+        """Store a fresh result; under telemetry, measure the serialization.
+
+        The ``serialize`` phase happens in the parent process (the worker
+        never touches the cache), so it is bracketed here with a private
+        profiler and folded into the unit's phase totals before the
+        ``exec-done`` event is emitted.
+        """
+        if self.cache is None or key is None:
+            return
+        if timing is None:
+            self.cache.put(key, run)
+            return
+        from repro.obs import profile
+
+        previous = profile.active()
+        profiler = profile.enable()
+        try:
+            self.cache.put(key, run)
+        finally:
+            if previous is not None:
+                profile.enable(previous)
+            else:
+                profile.disable()
+        for name, seconds in profiler.totals().items():
+            timing.phases[name] = timing.phases.get(name, 0.0) + seconds
 
     def run_repetition_sets(
         self,
@@ -509,11 +648,31 @@ class ParallelExecutor:
         return sets
 
     # ------------------------------------------------------------- internals
+    def _run_local(self, unit: WorkUnit, key: str):
+        """Execute one unit in-process, returning ``store`` arguments.
+
+        Without a sink this is a plain ``execute_unit`` call -- the
+        telemetry-off path stays structurally identical to before the
+        feature existed.  With a sink, the unit runs under the phase
+        profiler and a ``failed`` event is emitted before any exception
+        propagates, so no unit ever vanishes from the event log.
+        """
+        sink = self.telemetry
+        if sink is None:
+            return (execute_unit(unit),)
+        try:
+            run, timing = timed_execute(unit)
+        except Exception as error:
+            sink.emit(_unit_event("failed", unit, key, error=repr(error)))
+            raise
+        return (run, timing)
+
     def _execute(
         self,
         units: List[WorkUnit],
         indices: List[int],
-        store: Callable[[int, RunResult], None],
+        store: Callable[..., None],
+        keys: Dict[int, str],
     ) -> None:
         """Run ``units`` and hand each result to ``store(original_index, run)``.
 
@@ -523,24 +682,45 @@ class ParallelExecutor:
         """
         if not units:
             return
+        sink = self.telemetry
         if self.n_workers == 1 or len(units) == 1:
             for index, unit in zip(indices, units):
-                store(index, execute_unit(unit))
+                store(index, *self._run_local(unit, keys.get(index, "")))
             return
         from concurrent.futures import ProcessPoolExecutor, as_completed
         from concurrent.futures.process import BrokenProcessPool
 
         workers = min(self.n_workers, len(units))
         delivered = set()
+        run_fn = execute_unit if sink is None else timed_execute
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    pool.submit(execute_unit, unit): position
+                    pool.submit(run_fn, unit): position
                     for position, unit in enumerate(units)
                 }
                 for future in as_completed(futures):
                     position = futures[future]
-                    store(indices[position], future.result())
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as error:
+                        if sink is not None:
+                            sink.emit(
+                                _unit_event(
+                                    "failed",
+                                    units[position],
+                                    keys.get(indices[position], ""),
+                                    error=repr(error),
+                                )
+                            )
+                        raise
+                    if sink is None:
+                        store(indices[position], outcome)
+                    else:
+                        run, timing = outcome
+                        store(indices[position], run, timing)
                     delivered.add(position)
         except BrokenProcessPool:  # pragma: no cover - sandboxed hosts
             # Workers could not be spawned (hosts that forbid subprocess
@@ -549,4 +729,7 @@ class ParallelExecutor:
             # unit* are not caught here: they propagate as themselves.
             for position, unit in enumerate(units):
                 if position not in delivered:
-                    store(indices[position], execute_unit(unit))
+                    store(
+                        indices[position],
+                        *self._run_local(unit, keys.get(indices[position], "")),
+                    )

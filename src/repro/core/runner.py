@@ -33,6 +33,7 @@ from repro.core.results import RepetitionSet, RunResult
 from repro.core.steady_state import SteadyStateDetector
 from repro.core.timeline import HistogramTimeline, IntervalSeries
 from repro.fs.stack import StorageStack, build_stack
+from repro.obs.profile import phase as profile_phase
 from repro.obs.trace import Tracer
 from repro.storage.config import TestbedConfig, paper_testbed
 from repro.workloads.spec import OpRecord, WorkloadEngine, WorkloadSpec
@@ -195,7 +196,15 @@ def run_single_repetition(
         # Imported lazily: the aging subsystem sits above the core layer.
         from repro.aging.snapshot import snapshot_stack_factory
 
-        stack_factory = snapshot_stack_factory(snapshot_path)
+        restore_factory = snapshot_stack_factory(snapshot_path)
+
+        def stack_factory(fs_type, testbed, seed, cpu_factor):
+            # Bracketed so the snapshot restoration shows up as its own
+            # wall-clock phase, nested inside (and subtracted from) the
+            # runner's ``stack-build`` bracket.
+            with profile_phase("snapshot-restore"):
+                return restore_factory(fs_type, testbed, seed, cpu_factor)
+
     runner = BenchmarkRunner(
         fs_type=fs_type, testbed=testbed, config=config, stack_factory=stack_factory
     )
@@ -322,15 +331,21 @@ class BenchmarkRunner:
         noise_rng = random.Random(seed * 7919 + 13)
 
         testbed, cpu_factor, effective_cache = self._perturbed_environment(noise_rng)
-        stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
+        # The profile brackets observe wall time only (see repro.obs.profile);
+        # they are no-ops unless a profiler is enabled and never touch the
+        # virtual clock, so the measurement is identical with or without them.
+        with profile_phase("stack-build"):
+            stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
 
         engine = WorkloadEngine(stack, spec, seed=seed)
-        engine.setup()
-        if config.cold_cache:
-            stack.drop_caches()
+        with profile_phase("setup"):
+            engine.setup()
+            if config.cold_cache:
+                stack.drop_caches()
 
         warmup_start_ns = stack.clock.now_ns
-        self._warm_up(stack, engine, spec)
+        with profile_phase("warmup"):
+            self._warm_up(stack, engine, spec)
         warmup_duration_s = (stack.clock.now_ns - warmup_start_ns) / 1e9
 
         origin_ns = stack.clock.now_ns
@@ -340,7 +355,8 @@ class BenchmarkRunner:
         tracer = self._attach_tracer(stack)
 
         duration = config.duration_s if config.duration_s > 0 else None
-        engine.run(duration_s=duration, max_ops=config.max_ops)
+        with profile_phase("measured-run"):
+            engine.run(duration_s=duration, max_ops=config.max_ops)
         engine.on_op = None
         if tracer is not None:
             stack.attach_tracer(None)
@@ -403,16 +419,19 @@ class BenchmarkRunner:
         noise_rng = random.Random(seed * 7919 + 13)
 
         testbed, cpu_factor, effective_cache = self._perturbed_environment(noise_rng)
-        stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
+        with profile_phase("stack-build"):
+            stack = self._stack_factory(self.fs_type, testbed, seed, cpu_factor)
 
         sessions = build_sessions(stack, spec, base_seed=seed, clients=config.clients)
-        for session in sessions:
-            session.engine.setup()
-        if config.cold_cache:
-            stack.drop_caches()
+        with profile_phase("setup"):
+            for session in sessions:
+                session.engine.setup()
+            if config.cold_cache:
+                stack.drop_caches()
 
         warmup_start_ns = stack.clock.now_ns
-        self._warm_up_concurrent(stack, sessions)
+        with profile_phase("warmup"):
+            self._warm_up_concurrent(stack, sessions)
         warmup_duration_s = (stack.clock.now_ns - warmup_start_ns) / 1e9
 
         origin_ns = stack.clock.now_ns
@@ -423,9 +442,10 @@ class BenchmarkRunner:
         tracer = self._attach_tracer(stack)
 
         duration = config.duration_s if config.duration_s > 0 else None
-        run_window(
-            sessions, stack.clock, duration_s=duration, max_ops=config.max_ops, tracer=tracer
-        )
+        with profile_phase("measured-run"):
+            run_window(
+                sessions, stack.clock, duration_s=duration, max_ops=config.max_ops, tracer=tracer
+            )
         for session in sessions:
             session.engine.on_op = None
         if tracer is not None:

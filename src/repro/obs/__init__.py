@@ -1,11 +1,15 @@
-"""repro.obs -- virtual-time tracing, latency attribution, unified metrics.
+"""repro.obs -- virtual-time tracing, latency attribution, unified metrics,
+and wall-clock campaign telemetry.
 
 The observability layer the paper's methodology demands: every measurement
-can carry the evidence explaining *where* its time went.  See
-``docs/architecture.md`` section 8 for the span model and the argument for
-why tracing cannot perturb virtual time.
+can carry the evidence explaining *where* its time went -- in virtual time
+(tracing/attribution, section 8 of ``docs/architecture.md``) and in real
+time (the executor event log and phase profiler, section 11).  Both halves
+share one argument for why observing cannot perturb the measurement.
 """
 
+from repro.obs.benchdiff import BenchDelta, BenchDiff, diff_benchmarks, diff_files
+from repro.obs.benchjson import BenchStats, dump_bench_json, load_bench_json
 from repro.obs.explain import (
     payloads_match,
     render_attribution,
@@ -13,6 +17,16 @@ from repro.obs.explain import (
     run_unit_traced,
 )
 from repro.obs.metrics import MetricSource, MetricsRegistry
+from repro.obs.profile import PhaseProfiler, hotspot_report
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    ProgressReporter,
+    TelemetryEvent,
+    TelemetrySink,
+    load_events,
+    render_report,
+    timed_execute,
+)
 from repro.obs.trace import (
     BACKGROUND,
     CATEGORIES,
@@ -26,15 +40,31 @@ from repro.obs.trace import (
 __all__ = [
     "Attribution",
     "BACKGROUND",
+    "BenchDelta",
+    "BenchDiff",
+    "BenchStats",
     "CATEGORIES",
+    "EVENT_KINDS",
     "MetricSource",
     "MetricsRegistry",
+    "PhaseProfiler",
+    "ProgressReporter",
+    "TelemetryEvent",
+    "TelemetrySink",
     "TraceEvent",
     "Tracer",
     "chrome_trace",
+    "diff_benchmarks",
+    "diff_files",
+    "dump_bench_json",
+    "hotspot_report",
+    "load_bench_json",
+    "load_events",
     "payloads_match",
     "render_attribution",
     "render_client_attribution",
+    "render_report",
     "run_unit_traced",
+    "timed_execute",
     "write_jsonl",
 ]

@@ -1,0 +1,142 @@
+"""The benchmark-regression gate: machine-checked perf trajectories.
+
+The paper's discipline -- a measurement process must itself be
+characterized -- applied to this repository's own harness: the committed
+``BENCH_PR*.json`` baselines become a checked trajectory instead of
+write-only artifacts.  :func:`diff_benchmarks` compares two bench files
+benchmark by benchmark; ``fsbench-rocket bench-diff OLD NEW`` renders the
+deltas and exits non-zero when any shared benchmark regressed beyond the
+threshold, which is what lets CI gate on it.
+
+Classification is deliberately conservative: only benchmarks present in
+*both* files can regress (the committed baselines cover disjoint benchmark
+sets across PRs, so added/removed entries are reported but never fail the
+gate), and the default threshold is generous because the baselines were
+recorded on different machines -- the gate catches order-of-magnitude
+mistakes, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.obs.benchjson import BenchStats, load_bench_json
+
+__all__ = ["DEFAULT_THRESHOLD", "BenchDelta", "BenchDiff", "diff_benchmarks", "diff_files"]
+
+#: Default regression threshold: NEW mean > (1 + threshold) * OLD mean fails.
+DEFAULT_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One shared benchmark's old-vs-new comparison."""
+
+    name: str
+    old_mean: float
+    new_mean: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """``new / old`` mean (``inf`` when the old mean was zero)."""
+        if self.old_mean == 0:
+            return float("inf") if self.new_mean > 0 else 1.0
+        return self.new_mean / self.old_mean
+
+    @property
+    def regressed(self) -> bool:
+        return self.ratio > 1.0 + self.threshold
+
+    @property
+    def improved(self) -> bool:
+        return self.ratio < 1.0 - self.threshold
+
+    @property
+    def verdict(self) -> str:
+        if self.regressed:
+            return "REGRESSED"
+        if self.improved:
+            return "improved"
+        return "ok"
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison: shared deltas plus membership changes."""
+
+    deltas: List[BenchDelta] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+    threshold: float = DEFAULT_THRESHOLD
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [delta for delta in self.deltas if delta.regressed]
+
+    @property
+    def exit_code(self) -> int:
+        """``1`` when any shared benchmark regressed beyond the threshold."""
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark diff (threshold {self.threshold:.0%}: mean must stay "
+            f"within {1.0 + self.threshold:.2f}x of the baseline)"
+        ]
+        if self.deltas:
+            lines.append(
+                f"  {'benchmark':<44} {'old_s':>9} {'new_s':>9} {'ratio':>7}  verdict"
+            )
+            for delta in self.deltas:
+                lines.append(
+                    f"  {delta.name:<44} {delta.old_mean:>9.4f} {delta.new_mean:>9.4f} "
+                    f"{delta.ratio:>6.2f}x  {delta.verdict}"
+                )
+        else:
+            lines.append("  no benchmarks in common")
+        for name in self.added:
+            lines.append(f"  + {name} (new benchmark, not gated)")
+        for name in self.removed:
+            lines.append(f"  - {name} (no longer measured)")
+        count = len(self.regressions)
+        lines.append(
+            f"{count} regression(s) beyond threshold"
+            if count
+            else "no regressions beyond threshold"
+        )
+        return "\n".join(lines)
+
+
+def diff_benchmarks(
+    old: dict, new: dict, threshold: float = DEFAULT_THRESHOLD
+) -> BenchDiff:
+    """Compare two ``{name -> BenchStats}`` mappings (see
+    :func:`repro.obs.benchjson.load_bench_json`)."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    result = BenchDiff(threshold=threshold)
+    for name in sorted(set(old) & set(new)):
+        old_stats: BenchStats = old[name]
+        new_stats: BenchStats = new[name]
+        result.deltas.append(
+            BenchDelta(
+                name=name,
+                old_mean=old_stats.mean,
+                new_mean=new_stats.mean,
+                threshold=threshold,
+            )
+        )
+    result.added = sorted(set(new) - set(old))
+    result.removed = sorted(set(old) - set(new))
+    return result
+
+
+def diff_files(
+    old_path: str, new_path: str, threshold: float = DEFAULT_THRESHOLD
+) -> BenchDiff:
+    """Compare two bench-JSON files (raw or normalized layouts)."""
+    return diff_benchmarks(
+        load_bench_json(old_path), load_bench_json(new_path), threshold=threshold
+    )

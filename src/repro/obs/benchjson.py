@@ -1,0 +1,118 @@
+"""A single schema for the repository's benchmark-timing trajectory.
+
+CI has committed one ``BENCH_PR*.json`` per performance-relevant PR, each in
+pytest-benchmark's raw output format -- write-only artifacts until now.
+This module gives them one read path: :func:`load_bench_json` accepts both
+the raw pytest-benchmark layout and the normalized layout this repo emits
+going forward (``benchmarks/conftest.py`` embeds the normalized mapping into
+the same file via the ``pytest_benchmark_update_json`` hook), and returns a
+common ``{benchmark name -> BenchStats}`` shape that
+:mod:`repro.obs.benchdiff` and tests consume.
+
+The normalized layout is deliberately tiny and stable::
+
+    {"schema": "fsbench-bench/1",
+     "benchmarks": {"<name>": {"mean": ..., "min": ..., "max": ...,
+                               "stddev": ..., "median": ..., "rounds": ...}}}
+
+so a baseline survives pytest-benchmark version churn: only the six summary
+statistics the regression gate needs are part of the contract.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import IO, Any, Dict, Union
+
+__all__ = ["SCHEMA", "BenchStats", "load_bench_json", "normalize", "dump_bench_json"]
+
+#: Version tag of the normalized layout.
+SCHEMA = "fsbench-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchStats:
+    """Summary timing statistics of one benchmark, in seconds."""
+
+    mean: float
+    min: float
+    max: float
+    stddev: float
+    median: float
+    rounds: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _bench_name(record: Dict[str, Any]) -> str:
+    """The stable identity of one raw pytest-benchmark record.
+
+    ``name`` (test function plus parametrization) rather than ``fullname``:
+    the identity must survive a file move, and the repository's benchmark
+    modules already keep function names unique.
+    """
+    return str(record.get("name") or record.get("fullname"))
+
+
+def normalize(document: Dict[str, Any]) -> Dict[str, BenchStats]:
+    """Reduce either layout to the common ``{name -> BenchStats}`` shape."""
+    benchmarks = document.get("benchmarks", {})
+    out: Dict[str, BenchStats] = {}
+    if isinstance(benchmarks, dict):
+        # Already normalized (possibly embedded under the raw layout).
+        for name, stats in benchmarks.items():
+            out[str(name)] = BenchStats(
+                mean=float(stats["mean"]),
+                min=float(stats["min"]),
+                max=float(stats["max"]),
+                stddev=float(stats["stddev"]),
+                median=float(stats["median"]),
+                rounds=int(stats["rounds"]),
+            )
+        return out
+    for record in benchmarks:
+        stats = record["stats"]
+        out[_bench_name(record)] = BenchStats(
+            mean=float(stats["mean"]),
+            min=float(stats["min"]),
+            max=float(stats["max"]),
+            stddev=float(stats["stddev"]),
+            median=float(stats["median"]),
+            rounds=int(stats["rounds"]),
+        )
+    return out
+
+
+def load_bench_json(path: str) -> Dict[str, BenchStats]:
+    """Load a ``BENCH_*.json`` file, raw or normalized, into the common shape.
+
+    A raw file that embeds a ``normalized`` section (everything this repo's
+    benchmark harness writes going forward) is read through that section, so
+    the contract layout wins whenever it is present.
+    """
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path}: not a benchmark JSON document")
+    if isinstance(document.get("normalized"), dict):
+        return normalize(document["normalized"])
+    if "benchmarks" not in document:
+        raise ValueError(f"{path}: no 'benchmarks' section")
+    return normalize(document)
+
+
+def dump_bench_json(stats: Dict[str, BenchStats], handle: Union[IO[str], str]) -> None:
+    """Write the normalized layout (round-trips through :func:`normalize`)."""
+    document = {
+        "schema": SCHEMA,
+        "benchmarks": {name: s.to_dict() for name, s in sorted(stats.items())},
+    }
+    if isinstance(handle, str):
+        with open(handle, "w") as out:
+            json.dump(document, out, indent=2, sort_keys=True)
+            out.write("\n")
+    else:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,197 @@
+"""Wall-clock phase profiling of the real execution pipeline.
+
+:mod:`repro.obs.trace` answers "where did the *virtual* seconds go?" inside
+one measured window.  This module answers the complementary question the
+ROADMAP's raw-speed item needs: where do a campaign's *real* seconds go --
+stack construction, snapshot restore, workload setup, warm-up, the measured
+window itself, result serialization?
+
+The design mirrors the tracer's non-perturbation argument, transposed to
+wall time:
+
+* The simulation never reads the profiler.  Phases bracket host-side work
+  (:func:`repro.core.runner.run_single_repetition` and the result cache's
+  serialization path call :func:`phase` at fixed points), and the profiler
+  only ever *observes* ``time.perf_counter`` -- virtual time, cache keys and
+  run payloads are untouched, which ``tests/test_telemetry.py`` pins against
+  the golden hashes.
+* When no profiler is installed, :func:`phase` returns a shared no-op
+  context manager: the disabled path allocates nothing and reads no clock,
+  so profiling-off runs are structurally identical to every release before
+  this module existed.
+
+This module (together with :mod:`repro.obs.telemetry`) is deliberately the
+only place in ``src/repro`` allowed to read the host clock; the DET001
+lint exemption lives in ``lint.toml`` with this rationale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "PHASES",
+    "PhaseProfiler",
+    "disable",
+    "enable",
+    "active",
+    "phase",
+    "hotspot_report",
+]
+
+#: The bracket points of one repetition, in pipeline order.  The list is
+#: documentation, not an enum: :func:`phase` accepts any name, so callers
+#: can bracket new host-side work without touching this module.
+PHASES = (
+    "stack-build",      # build_stack: device + cache + fs + VFS construction
+    "snapshot-restore", # aged-state restoration (nested inside stack-build)
+    "setup",            # workload fileset creation, cache drop
+    "warmup",           # cache conditioning before the measured window
+    "measured-run",     # the measured window itself
+    "serialize",        # result serialization into the cache
+)
+
+
+class _NullPhase:
+    """The disabled-profiler context manager: one shared, stateless object."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """One live bracket: measures its own wall time minus nested phases'."""
+
+    __slots__ = ("profiler", "name", "start_s", "child_s")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self.child_s = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self.profiler._stack.append(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        elapsed = time.perf_counter() - self.start_s
+        stack = self.profiler._stack
+        stack.pop()
+        self.profiler._add(self.name, elapsed - self.child_s)
+        if stack:
+            stack[-1].child_s += elapsed
+        return False
+
+
+class PhaseProfiler:
+    """Accumulates per-phase *self* wall time (nested brackets subtract).
+
+    A profiler is cheap enough to create per work unit: the parallel
+    executor's timed path installs a fresh one around each execution (in the
+    worker process, when pooled) and ships ``totals()`` home alongside the
+    result, so per-cell hotspots aggregate in the parent without any shared
+    state.
+    """
+
+    def __init__(self) -> None:
+        self._self_s: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._stack: List[_Phase] = []
+
+    def phase(self, name: str) -> _Phase:
+        """A context manager bracketing one phase occurrence."""
+        return _Phase(self, name)
+
+    def _add(self, name: str, self_s: float) -> None:
+        self._self_s[name] = self._self_s.get(name, 0.0) + self_s
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """Per-phase self time in seconds, insertion (first-bracket) order."""
+        return dict(self._self_s)
+
+    def calls(self) -> Dict[str, int]:
+        """Per-phase bracket counts."""
+        return dict(self._calls)
+
+    def merge(self, phases: Dict[str, float], calls: Optional[Dict[str, int]] = None) -> None:
+        """Fold another profiler's totals (e.g. from a pool worker) into this one."""
+        for name, seconds in phases.items():
+            self._self_s[name] = self._self_s.get(name, 0.0) + seconds
+            self._calls[name] = self._calls.get(name, 0) + (
+                calls.get(name, 1) if calls else 1
+            )
+
+
+#: The installed profiler; ``None`` keeps :func:`phase` a strict no-op.
+_ACTIVE: Optional[PhaseProfiler] = None
+
+
+def enable(profiler: Optional[PhaseProfiler] = None) -> PhaseProfiler:
+    """Install ``profiler`` (or a fresh one) as the process-wide profiler."""
+    global _ACTIVE
+    _ACTIVE = profiler if profiler is not None else PhaseProfiler()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Uninstall the profiler; :func:`phase` reverts to the no-op path."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[PhaseProfiler]:
+    """The installed profiler, or ``None``."""
+    return _ACTIVE
+
+
+def phase(name: str):
+    """Bracket one phase of host-side work.
+
+    With no profiler installed this returns a shared no-op context manager
+    and reads no clock -- the bracket costs one attribute load and one
+    ``is None`` test, which is what lets the brackets live permanently in
+    the runner's hot path.
+    """
+    if _ACTIVE is None:
+        return _NULL_PHASE
+    return _ACTIVE.phase(name)
+
+
+# ------------------------------------------------------------------ reporting
+def top_phases(phases: Dict[str, float], top: int = 3) -> List[Tuple[str, float]]:
+    """The ``top`` phases by self time, heaviest first."""
+    return sorted(phases.items(), key=lambda item: (-item[1], item[0]))[:top]
+
+
+def hotspot_report(
+    phases: Dict[str, float],
+    calls: Optional[Dict[str, int]] = None,
+    title: str = "wall-clock hotspots",
+    top: Optional[int] = None,
+) -> str:
+    """Render per-phase self time as a fixed-width hotspot table.
+
+    ``top`` limits the table to the heaviest phases; the share column is
+    always relative to the *full* total so a truncated table cannot inflate
+    the shown phases' importance.
+    """
+    total = sum(phases.values())
+    rows = top_phases(phases, top if top is not None else len(phases))
+    lines = [title, f"{'phase':<18} {'calls':>6} {'self_s':>9} {'share':>7}"]
+    for name, seconds in rows:
+        count = calls.get(name, 0) if calls else 0
+        share = seconds / total if total > 0 else 0.0
+        lines.append(f"{name:<18} {count:>6} {seconds:>9.3f} {share:>6.1%}")
+    lines.append(f"{'total':<18} {'':>6} {total:>9.3f} {'100.0%':>7}")
+    return "\n".join(lines)

@@ -357,6 +357,61 @@ class TestMetricsRegistry:
         assert sample.hits == 0
         assert sample.values == []
 
+    def test_registry_wide_snapshot_reset_round_trip(self):
+        """Every registered source survives snapshot -> reset -> snapshot.
+
+        Exercised over a full journalled stack after real traffic: the reset
+        snapshot must equal a pristine stack's snapshot source for source --
+        a source whose counters stick (or that silently drops out of the
+        registry) fails here, not in production reports.
+        """
+        from repro.fs.stack import build_stack
+
+        unit = golden_unit()
+        stack = build_stack(unit.fs_type, testbed=unit.testbed)
+        runner = BenchmarkRunner(
+            fs_type=unit.fs_type,
+            testbed=unit.testbed,
+            config=quick_config(trace=False),
+            stack_factory=lambda *args: stack,
+        )
+        runner.run_once(unit.spec, 0)
+
+        registry = stack.metrics_registry()
+        pristine = build_stack(unit.fs_type, testbed=unit.testbed).metrics_registry()
+        before = registry.snapshot()
+        assert set(before) == set(pristine.snapshot())
+        # Traffic moved at least one counter in the I/O path sources.
+        assert any(
+            any(value != 0.0 for value in counters.values())
+            for name, counters in before.items()
+        )
+        registry.reset()
+        after = registry.snapshot()
+        assert set(after) == set(before)
+        assert after == pristine.snapshot()
+        for name, counters in before.items():
+            # Identical counter names per source across the round trip.
+            assert set(after[name]) == set(counters)
+
+    def test_result_cache_stats_are_a_metric_source(self, tmp_path):
+        from repro.core.parallel import CacheStats, ResultCache
+
+        cache = ResultCache(str(tmp_path))
+        assert isinstance(cache.stats, MetricSource)
+        cache.get("0" * 64)
+        snapshot = cache.stats.snapshot()
+        assert snapshot["misses"] == 1.0
+        assert snapshot["hit_ratio"] == 0.0
+        for name in ("hits", "misses", "stores", "corrupt", "pack_hits", "blocks_read"):
+            assert name in snapshot
+        registry = MetricsRegistry()
+        registry.register("result-cache", cache.stats)
+        assert registry.snapshot()["result-cache"]["misses"] == 1.0
+        registry.reset()
+        assert cache.stats.misses == 0
+        assert CacheStats().snapshot()["hit_ratio"] == 0.0
+
     def test_registry_rejects_duplicates_and_bad_sources(self):
         registry = MetricsRegistry()
         stats = Attribution()  # has no snapshot/reset
